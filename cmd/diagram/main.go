@@ -1,0 +1,89 @@
+// Command diagram renders ASCII versions of the paper's Figures 1–8 — the
+// machine-model topologies — so the README and terminals can show what each
+// simulated architecture looks like.
+//
+// Usage:
+//
+//	diagram all
+//	diagram 4      # Fig. 4: the 2DMOT
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+var figures = []struct {
+	id    string
+	title string
+	art   string
+}{
+	{"1", "The P-RAM model",
+		`  P1   P2   P3  ...  Pn
+   \    |    |        /
+    +---+----+-------+
+    |  shared memory |     every processor reaches every cell in O(1)
+    +----------------+`},
+	{"2", "The MPC model",
+		`  [M1]  [M2]  [M3] ... [Mn]      one module per processor,
+   P1    P2    P3       Pn       granule m/n
+    \    |     |        /
+     ===complete graph===        (infeasible fan-in/out at scale)`},
+	{"3", "The BDN model",
+		`  [M1]  [M2]  [M3] ... [Mn]
+   P1 -- P2 -- P3 -...- Pn       constant-degree links only`},
+	{"4", "The (n x n) 2DMOT (mesh of trees)",
+		`  row tree RT(i):     o            column tree CT(j):   o
+                     / \                               / \
+                    o   o        over leaves          o   o
+                   /|   |\       P(i,j)              /|   |\
+   leaves:       (i1)(i2)(i3)(i4)  ...             (1j)(2j)(3j)(4j)
+   every grid row is a row tree's fringe; every column a column tree's;
+   roots are coalesced. Area Theta(n^2 log^2 n) (Leighton-optimal).`},
+	{"5", "The DMMPC model (Section 2)",
+		`   P1    P2   ...   Pn           n processors
+     \   |  \      / |
+      ==complete bipartite==      K(n,M)
+     / | \  / \  | \  \
+  [M1][M2][M3][M4] ... [MM]       M = n^(1+eps) modules, granule g = m/M
+   fine grain  =>  constant redundancy (Theorem 2)`},
+	{"6", "The DMBDN model (Section 3)",
+		`   P1 .. Pn     [M1] .. [MM]
+     \   |          |   /
+   == bounded-degree network with O(m) extra switches ==
+   processors and memory both first-class network citizens`},
+	{"7", "2DMOT as crossbar between processors and modules",
+		`   P1 ... Pn  at row-tree roots
+    |  (n x M mesh of trees)
+   [M1] ... [MM] at column-tree roots     O(nM) switches — wasteful`},
+	{"8", "THE PAPER'S DEPLOYMENT: modules at the leaves",
+		`   P1 ... Pn at the first n row-tree roots (sqrt(M) >= n)
+    |
+    |   sqrt(M) x sqrt(M) grid, module M(i,j) at leaf (i,j)
+    v
+   route: down row tree l -> leaf (l,j) -> up column tree j
+          -> down column tree j -> leaf (i,j) = module
+   columns act as sqrt(M) independent banks => Lemma 2 with
+   M' = sqrt(M) = n^(1+eps') => r = Theta(1), O(M) switches only`},
+}
+
+func main() {
+	args := os.Args[1:]
+	want := "all"
+	if len(args) > 0 {
+		want = strings.ToLower(args[0])
+	}
+	found := false
+	for _, f := range figures {
+		if want != "all" && want != f.id && want != "fig"+f.id {
+			continue
+		}
+		found = true
+		fmt.Printf("Figure %s — %s\n\n%s\n\n", f.id, f.title, f.art)
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown figure %q (1-8 or all)\n", want)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,52 @@
+// Command experiments regenerates the reproduction tables E1–E8 (one per
+// claim of the paper; see DESIGN.md §4 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments e3 e5     # run selected experiments
+//	experiments -list     # list experiment ids and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	markdown := flag.Bool("markdown", false, "emit markdown sections (EXPERIMENTS.md source format)")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
+	exit := 0
+	for _, id := range ids {
+		start := time.Now()
+		res, ok := experiments.Run(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+			exit = 1
+			continue
+		}
+		if *markdown {
+			fmt.Println(res.Markdown())
+			continue
+		}
+		fmt.Println(res.String())
+		fmt.Printf("(%s finished in %v)\n\n", res.ID, time.Since(start).Round(time.Millisecond))
+	}
+	os.Exit(exit)
+}

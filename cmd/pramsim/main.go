@@ -1,0 +1,138 @@
+// Command pramsim runs a P-RAM workload on a chosen machine model and
+// reports the simulated cost — the quickest way to see the paper's
+// machines at work.
+//
+// Usage:
+//
+//	pramsim -backend mot2d -workload prefixsum -n 64
+//	pramsim -backend all   -workload bitonicsort -n 32
+//	pramsim -list
+//
+// Backends: ideal, mpc, dmmpc, mot2d, luccio, schuster, hashed, all.
+// Workloads: treesum, prefixsum, broadcast, listrank, bitonicsort,
+// matvec, permutation, hotspot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+
+	pramsim "repro"
+)
+
+func workloadByName(name string, n int, seed int64) (pramsim.Workload, bool) {
+	switch strings.ToLower(name) {
+	case "treesum":
+		return workloads.TreeSum(n, seed), true
+	case "prefixsum":
+		return workloads.PrefixSum(n, seed), true
+	case "broadcast":
+		return workloads.Broadcast(n, 42), true
+	case "listrank":
+		return workloads.ListRank(n, seed), true
+	case "bitonicsort":
+		return workloads.BitonicSort(n, seed), true
+	case "matvec":
+		return workloads.MatVec(n, 8, seed), true
+	case "permutation":
+		return workloads.Permutation(n, seed), true
+	case "hotspot":
+		return workloads.HotSpot(n), true
+	}
+	return pramsim.Workload{}, false
+}
+
+func backendByName(name string, w pramsim.Workload, seed int64) (pramsim.Backend, bool) {
+	switch strings.ToLower(name) {
+	case "ideal":
+		return pramsim.NewIdeal(w.Procs, w.Cells, w.Mode), true
+	case "mpc":
+		return pramsim.NewMPC(w.Procs, pramsim.MPCConfig{Mode: w.Mode, Seed: seed}), true
+	case "dmmpc":
+		return pramsim.NewDMMPC(w.Procs, pramsim.DMMPCConfig{Mode: w.Mode, Seed: seed}), true
+	case "mot2d":
+		return pramsim.NewMOT2D(w.Procs, pramsim.MOTConfig{Mode: w.Mode, Seed: seed}), true
+	case "luccio":
+		return pramsim.NewLuccio(w.Procs, pramsim.MOTConfig{Mode: w.Mode, Seed: seed}), true
+	case "schuster":
+		return pramsim.NewSchuster(w.Procs, pramsim.SchusterConfig{MemCells: w.Cells, Mode: w.Mode, Seed: seed}), true
+	case "hashed":
+		return pramsim.NewHashed(w.Procs, pramsim.HashedConfig{MemCells: w.Cells, Mode: w.Mode, Seed: seed}), true
+	}
+	return nil, false
+}
+
+var allBackends = []string{"ideal", "mpc", "dmmpc", "mot2d", "luccio", "schuster", "hashed"}
+var allWorkloads = []string{"treesum", "prefixsum", "broadcast", "listrank",
+	"bitonicsort", "matvec", "permutation", "hotspot"}
+
+func main() {
+	backend := flag.String("backend", "dmmpc", "machine model (or 'all')")
+	workload := flag.String("workload", "prefixsum", "P-RAM program (or 'all')")
+	n := flag.Int("n", 64, "processor count (power of two recommended)")
+	seed := flag.Int64("seed", 1, "input/map seed")
+	list := flag.Bool("list", false, "list backends and workloads")
+	showTrace := flag.Bool("trace", false, "print per-step cost distribution after each run")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("backends: ", strings.Join(allBackends, ", "))
+		fmt.Println("workloads:", strings.Join(allWorkloads, ", "))
+		return
+	}
+	wNames := []string{*workload}
+	if *workload == "all" {
+		wNames = allWorkloads
+	}
+	bNames := []string{*backend}
+	if *backend == "all" {
+		bNames = allBackends
+	}
+
+	tb := stats.NewTable("workload", "backend", "PRAM steps", "sim time",
+		"phases", "net cycles", "max module load", "wall", "ok")
+	for _, wn := range wNames {
+		w, ok := workloadByName(wn, *n, *seed)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q (try -list)\n", wn)
+			os.Exit(1)
+		}
+		for _, bn := range bNames {
+			b, ok := backendByName(bn, w, *seed)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown backend %q (try -list)\n", bn)
+				os.Exit(1)
+			}
+			if b.MemSize() < w.Cells {
+				tb.AddRow(w.Name, b.Name(), "-", "-", "-", "-", "-", "-", "memory too small")
+				continue
+			}
+			var rec *trace.Recorder
+			run := b
+			if *showTrace {
+				rec = trace.Wrap(b)
+				run = rec
+			}
+			start := time.Now()
+			rep, err := pramsim.RunWorkload(w, run)
+			wall := time.Since(start).Round(time.Microsecond)
+			status := "verified"
+			if err != nil {
+				status = err.Error()
+			}
+			tb.AddRow(w.Name, b.Name(), rep.Steps, rep.SimTime, rep.Phases,
+				rep.NetworkCycles, rep.MaxContention, wall.String(), status)
+			if rec != nil {
+				fmt.Print(rec.Report())
+			}
+		}
+	}
+	fmt.Print(tb.String())
+}

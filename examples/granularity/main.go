@@ -1,0 +1,49 @@
+// Granularity sweep — the paper's central trade-off made tangible: fix the
+// machine size n and sweep the granularity exponent ε (module count
+// M = n^(1+ε)). Lemma 2's quorum constant c, the redundancy 2c−1, and the
+// measured phases per step all fall as memory gets finer, while ε = 0 (the
+// classical MPC) is stuck with Θ(log m) copies.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/memmap"
+	"repro/internal/model"
+	"repro/internal/stats"
+
+	pramsim "repro"
+)
+
+func main() {
+	const n = 256
+	fmt.Printf("n = %d processors, m = n² shared variables\n\n", n)
+
+	tb := stats.NewTable("eps", "modules M", "granule m/M", "c", "redundancy 2c-1", "phases/step")
+	// The coarse-grain baseline first.
+	p1 := memmap.LemmaOne(n, 2)
+	mpcMachine := pramsim.NewMPC(n, pramsim.MPCConfig{})
+	tb.AddRow("0 (MPC)", p1.M, p1.Mem/p1.M, p1.C, p1.R(), measure(mpcMachine, n))
+	// Then the paper's fine-grain regime.
+	for _, eps := range []float64{0.25, 0.5, 0.75, 1.0, 1.5} {
+		p := memmap.LemmaTwo(n, 2, eps)
+		b := pramsim.NewDMMPC(n, pramsim.DMMPCConfig{Eps: eps})
+		granule := float64(p.Mem) / float64(p.M)
+		tb.AddRow(fmt.Sprintf("%.2f", eps), p.M, fmt.Sprintf("%.2f", granule),
+			p.C, p.R(), measure(b, n))
+	}
+	fmt.Print(tb.String())
+	fmt.Println("\nreading the table: every ε > 0 row has CONSTANT redundancy (independent")
+	fmt.Println("of n — rerun with a different n to check), and finer memory means smaller")
+	fmt.Println("quorums and fewer phases. ε = 0 is the von Neumann bottleneck the paper")
+	fmt.Println("removes: one port per m/n-cell module forces Θ(log m) copies.")
+}
+
+// measure runs one full permutation read step and returns its phase count.
+func measure(b pramsim.Backend, n int) int {
+	batch := model.NewBatch(n)
+	for i := 0; i < n; i++ {
+		batch[i] = model.Request{Proc: i, Op: model.OpRead, Addr: (i*37 + 11) % n}
+	}
+	return b.ExecuteStep(batch).Phases
+}

@@ -1,0 +1,56 @@
+// Adversarial hot-spots: why DETERMINISTIC simulation matters. The
+// probabilistic hashing baseline is excellent on random traffic but an
+// adversary who knows the hash can aim an entire step at one module and
+// stall the machine for Θ(n) time. The paper's DMMPC handles the same
+// adversarial step in O(log n) phases — its guarantee is worst-case.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/hashsim"
+	"repro/internal/model"
+
+	pramsim "repro"
+)
+
+func main() {
+	const n = 256
+	hashed := hashsim.New(n, hashsim.Config{Seed: 3})
+	dmmpc := pramsim.NewDMMPC(n, pramsim.DMMPCConfig{})
+
+	// Random traffic: both machines are comfortable.
+	random := model.NewBatch(n)
+	for i := 0; i < n; i++ {
+		random[i] = model.Request{Proc: i, Op: model.OpRead, Addr: (i*1237 + 99) % hashed.MemSize()}
+	}
+	hr := hashed.ExecuteStep(random)
+	dr := dmmpc.ExecuteStep(cloneFor(dmmpc, random))
+
+	// Adversarial traffic: n addresses that all hash to one module.
+	adv := hashsim.AdversarialBatch(hashed.Hash(), n, hashed.MemSize())
+	ha := hashed.ExecuteStep(adv)
+	da := dmmpc.ExecuteStep(cloneFor(dmmpc, adv))
+
+	fmt.Printf("n = %d processors, one full read step each\n\n", n)
+	fmt.Printf("%-34s %18s %22s\n", "", "random step", "adversarial step")
+	fmt.Printf("%-34s %14d phases %16d phases\n", hashed.Name(), hr.Phases, ha.Phases)
+	fmt.Printf("%-34s %14d phases %16d phases\n", dmmpc.Name(), dr.Phases, da.Phases)
+	fmt.Printf("\nhashing degrades %d× under the adversary; the deterministic machine's\n",
+		ha.Phases/max(1, hr.Phases))
+	fmt.Println("phase count barely moves — the worst case IS its guarantee (Theorem 2).")
+}
+
+// cloneFor clamps the batch's addresses into b's address space (the two
+// machines are built with the same m here, so this is the identity; kept
+// for safety if sizes are changed).
+func cloneFor(b pramsim.Backend, in model.Batch) model.Batch {
+	out := make(model.Batch, len(in))
+	copy(out, in)
+	for i := range out {
+		if out[i].Op != model.OpNone {
+			out[i].Addr %= b.MemSize()
+		}
+	}
+	return out
+}

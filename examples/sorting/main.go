@@ -1,0 +1,41 @@
+// Bitonic sorting on the DMMPC: an O(log²n)-step EREW P-RAM program (the
+// kind of algorithm the P-RAM literature is full of) executed on the
+// paper's Theorem 2 machine, demonstrating that a full classical algorithm
+// — not just single steps — survives the simulation with constant
+// redundancy, and showing the end-to-end slowdown factor.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/workloads"
+
+	pramsim "repro"
+)
+
+func main() {
+	const n = 64
+	w := workloads.BitonicSort(n, 99)
+
+	ideal := pramsim.NewIdeal(w.Procs, w.Cells, w.Mode)
+	idealRep, err := pramsim.RunWorkload(w, ideal)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dmmpc := pramsim.NewDMMPC(n, pramsim.DMMPCConfig{Mode: w.Mode})
+	dmRep, err := pramsim.RunWorkload(workloads.BitonicSort(n, 99), dmmpc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("bitonic sort of %d keys (Batcher, EREW, O(log²n) steps)\n\n", n)
+	fmt.Printf("ideal P-RAM : %4d steps, sim time %5d\n", idealRep.Steps, idealRep.SimTime)
+	fmt.Printf("DMMPC (§2)  : %4d steps, sim time %5d  (%d quorum phases, r = const)\n",
+		dmRep.Steps, dmRep.SimTime, dmRep.Phases)
+	fmt.Printf("\nslowdown factor: %.1f× — the polylog price of running shared memory\n",
+		float64(dmRep.SimTime)/float64(idealRep.SimTime))
+	fmt.Println("on a machine that physically exists, with only a constant number of")
+	fmt.Println("copies per variable. Sorted output verified on both machines.")
+}

@@ -1,0 +1,139 @@
+package butterfly
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("n=12 did not panic")
+		}
+	}()
+	New(12, 4)
+}
+
+func TestSinglePacketLatency(t *testing.T) {
+	nw := New(16, 4)
+	cycles := nw.RouteBatch([]Packet{{Src: 3, Dst: 12, Addr: 99}})
+	// One packet: d = 4 hops, one per cycle, plus the final cycle that
+	// observes completion.
+	if cycles < 4 || cycles > 6 {
+		t.Errorf("cycles = %d, want ~d = 4", cycles)
+	}
+	if nw.Stats().Hops != 4 {
+		t.Errorf("hops = %d, want 4", nw.Stats().Hops)
+	}
+}
+
+func TestIdentityRoutesInParallel(t *testing.T) {
+	const n = 32
+	nw := New(n, 4)
+	pkts := make([]Packet, n)
+	for i := range pkts {
+		pkts[i] = Packet{Src: i, Dst: i, Addr: i}
+	}
+	cycles := nw.RouteBatch(pkts)
+	// Identity routing uses only straight edges: fully parallel, ~d+1.
+	if cycles > int64(nw.Depth()+2) {
+		t.Errorf("identity permutation took %d cycles, want ≈ %d", cycles, nw.Depth())
+	}
+}
+
+func TestAllToOneCombines(t *testing.T) {
+	const n = 16
+	nw := New(n, 4)
+	pkts := make([]Packet, n)
+	for i := range pkts {
+		pkts[i] = Packet{Src: i, Dst: 5, Addr: 77} // same address: combinable
+	}
+	cycles := nw.RouteBatch(pkts)
+	if nw.Stats().Combined == 0 {
+		t.Error("no combining on an all-to-one same-address batch")
+	}
+	// With combining the hot spot costs barely more than a lone packet.
+	if cycles > int64(4*nw.Depth()) {
+		t.Errorf("combined hot-spot took %d cycles", cycles)
+	}
+}
+
+func TestAllToOneDistinctAddressesSerializes(t *testing.T) {
+	const n = 16
+	nw := New(n, 4)
+	pkts := make([]Packet, n)
+	for i := range pkts {
+		pkts[i] = Packet{Src: i, Dst: 5, Addr: i} // distinct: no combining
+	}
+	cycles := nw.RouteBatch(pkts)
+	// n distinct packets into one module serialize at its consumption
+	// rate of one per cycle: at least n cycles.
+	if cycles < n {
+		t.Errorf("distinct-address hot spot took only %d cycles, want ≥ %d", cycles, n)
+	}
+}
+
+func TestRandomPermutationReasonable(t *testing.T) {
+	const n = 64
+	nw := New(n, 4)
+	perm := rand.New(rand.NewSource(7)).Perm(n)
+	pkts := make([]Packet, n)
+	for i := range pkts {
+		pkts[i] = Packet{Src: i, Dst: perm[i], Addr: i}
+	}
+	cycles := nw.RouteBatch(pkts)
+	// Random permutations on a butterfly route in O(log n) w.h.p. with
+	// constant queues; allow generous slack.
+	if cycles > int64(12*nw.Depth()) {
+		t.Errorf("random permutation took %d cycles (d=%d)", cycles, nw.Depth())
+	}
+	if nw.Stats().MaxQueue > 4 {
+		t.Errorf("queue exceeded capacity: %d", nw.Stats().MaxQueue)
+	}
+}
+
+func TestQueueCapRespected(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 32
+		nw := New(n, 3)
+		k := 1 + rng.Intn(n)
+		pkts := make([]Packet, k)
+		for i := range pkts {
+			pkts[i] = Packet{Src: rng.Intn(n), Dst: rng.Intn(n), Addr: rng.Intn(64)}
+		}
+		nw.RouteBatch(pkts)
+		return nw.Stats().MaxQueue <= 3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyBatchFree(t *testing.T) {
+	nw := New(8, 4)
+	if c := nw.RouteBatch(nil); c != 0 {
+		t.Errorf("empty batch cost %d", c)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	nw := New(8, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range packet did not panic")
+		}
+	}()
+	nw.RouteBatch([]Packet{{Src: 9, Dst: 1}})
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	nw := New(8, 4)
+	nw.RouteBatch([]Packet{{Src: 0, Dst: 7, Addr: 1}})
+	h1 := nw.Stats().Hops
+	nw.RouteBatch([]Packet{{Src: 1, Dst: 6, Addr: 2}})
+	if nw.Stats().Hops <= h1 {
+		t.Error("hops did not accumulate")
+	}
+}

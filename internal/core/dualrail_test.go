@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ideal"
+	"repro/internal/model"
+	"repro/internal/workloads"
+)
+
+func TestDualRailHalvesRedundancy(t *testing.T) {
+	single := NewMOT2D(64, MOTConfig{})
+	dual := NewMOT2D(64, MOTConfig{DualRail: true})
+	if dual.Redundancy() >= single.Redundancy() {
+		t.Errorf("dual-rail r=%d not below single-rail r=%d",
+			dual.Redundancy(), single.Redundancy())
+	}
+	// The remark says "a factor of 2": 2c−1 with c halved.
+	wantC := (single.P.C + 1) / 2
+	if dual.P.C != wantC {
+		t.Errorf("dual c=%d, want %d", dual.P.C, wantC)
+	}
+}
+
+func TestDualRailRedundancyConstantAcrossN(t *testing.T) {
+	r64 := NewMOT2D(64, MOTConfig{DualRail: true}).Redundancy()
+	r256 := NewMOT2D(256, MOTConfig{DualRail: true}).Redundancy()
+	if r64 != r256 {
+		t.Errorf("dual-rail redundancy varies: %d vs %d", r64, r256)
+	}
+}
+
+func TestDualRailBackendEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		const n, rounds = 8, 4
+		mt := NewMOT2D(n, MOTConfig{Mode: model.CRCWPriority, Seed: seed, DualRail: true})
+		id := ideal.New(n, mt.MemSize(), model.CRCWPriority)
+		rng := rand.New(rand.NewSource(seed))
+		for r := 0; r < rounds; r++ {
+			batch := model.NewBatch(n)
+			for i := 0; i < n; i++ {
+				switch rng.Intn(3) {
+				case 0:
+					batch[i] = model.Request{Proc: i, Op: model.OpRead, Addr: rng.Intn(32)}
+				case 1:
+					batch[i] = model.Request{Proc: i, Op: model.OpWrite, Addr: rng.Intn(32), Value: model.Word(rng.Intn(1000))}
+				}
+			}
+			mr := mt.ExecuteStep(batch)
+			ir := id.ExecuteStep(batch)
+			for p, v := range ir.Values {
+				if mr.Values[p] != v {
+					return false
+				}
+			}
+		}
+		for a := 0; a < 32; a++ {
+			if mt.ReadCell(a) != id.ReadCell(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDualRailWorkloads(t *testing.T) {
+	for _, w := range []workloads.Workload{
+		workloads.TreeSum(16, 9),
+		workloads.PrefixSum(16, 9),
+		workloads.Permutation(16, 9),
+	} {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			b := NewMOT2D(w.Procs, MOTConfig{Mode: w.Mode, DualRail: true})
+			if b.MemSize() < w.Cells {
+				t.Skip("memory too small")
+			}
+			if _, err := workloads.RunOn(w, b); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestDualRailNameAnnotated(t *testing.T) {
+	b := NewMOT2D(16, MOTConfig{DualRail: true})
+	if got := b.Name(); got != "2DMOT(n=16, side=64, r=7, dual-rail)" {
+		t.Errorf("name = %q", got)
+	}
+}

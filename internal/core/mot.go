@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/memmap"
+	"repro/internal/model"
+	"repro/internal/mot"
+	"repro/internal/quorum"
+	"repro/internal/xmath"
+)
+
+// MOTConfig tunes construction of the mesh-of-trees machines.
+type MOTConfig struct {
+	// K is the memory-size exponent m = n^K (default 2).
+	K float64
+	// Delta sets the physical module count M = n^(1+Delta) of the
+	// Theorem 3 machine (default 2, i.e. a grid of side n^1.5). Must be
+	// ≥ 1 so the n processors fit on the grid's tree roots.
+	Delta float64
+	// Mode is the P-RAM conflict convention (default CRCW-Priority).
+	Mode model.Mode
+	// Seed draws the memory map (default 1).
+	Seed int64
+	// Policy is the tree-edge contention rule (default DropOnCollision,
+	// the paper's routing).
+	Policy mot.Policy
+	// DualRail enables the simultaneous row+column access of Theorem 3's
+	// closing remark: the grid's rows become a second set of banks and the
+	// redundancy halves.
+	DualRail bool
+	// TwoStage selects the faithful UW'87 two-stage schedule with the
+	// stage-2 module queues served at O(log n) per phase — the pipelining
+	// Luccio et al. (1990) and Theorem 3 use.
+	TwoStage bool
+}
+
+func (c *MOTConfig) fill() {
+	if c.K == 0 {
+		c.K = 2
+	}
+	if c.Delta == 0 {
+		c.Delta = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// MOT2D is the Theorem 3 machine: a √M × √M two-dimensional mesh of trees
+// with the memory modules at the leaves and the n processors at the tree
+// roots, running the constant-redundancy majority-rule simulation.
+type MOT2D struct {
+	*quorum.Machine
+	P    memmap.Params
+	Side int
+	Net  *mot.Network
+}
+
+// NewMOT2D builds the paper's DMBDN machine (Section 3, Fig. 8). With
+// cfg.DualRail it applies the proof's closing remark — rows and columns
+// both serve as banks — halving the redundancy.
+func NewMOT2D(n int, cfg MOTConfig) *MOT2D {
+	cfg.fill()
+	var p memmap.Params
+	var side int
+	if cfg.DualRail {
+		p, side = memmap.TheoremThreeDual(n, cfg.K, cfg.Delta)
+	} else {
+		p, side = memmap.TheoremThree(n, cfg.K, cfg.Delta)
+	}
+	if n > side {
+		panic(fmt.Sprintf("core.NewMOT2D: n=%d exceeds grid side %d", n, side))
+	}
+	mp := memmap.Generate(p, cfg.Seed)
+	nw := mot.NewNetwork(side, mot.ModulesAtLeaves,
+		mot.Config{Policy: cfg.Policy, DualRail: cfg.DualRail})
+	st := quorum.NewStore(mp)
+	name := fmt.Sprintf("2DMOT(n=%d, side=%d, r=%d", n, side, p.R())
+	if cfg.DualRail {
+		name += ", dual-rail"
+	}
+	name += ")"
+	m := &MOT2D{
+		Machine: quorum.NewMachine(name, n, cfg.Mode, st, nw),
+		P:       p,
+		Side:    side,
+		Net:     nw,
+	}
+	if cfg.TwoStage {
+		m.SetTwoStage(&quorum.TwoStageConfig{})
+	}
+	return m
+}
+
+// Luccio is the baseline 2DMOT deployment of Luccio, Pietracaprina & Pucci
+// (1990): processors AND memory modules at the coalesced tree roots, the
+// mesh acting purely as a switching fabric. Because the module count stays
+// M = n (coarse granularity), the memory map must fall back to Lemma 1 and
+// the redundancy grows as Θ(log m) — the cost the paper's leaf deployment
+// removes.
+type Luccio struct {
+	*quorum.Machine
+	P    memmap.Params
+	Side int
+	Net  *mot.Network
+}
+
+// NewLuccio builds the baseline machine on an n×n grid (n rounded up to a
+// power of two).
+func NewLuccio(n int, cfg MOTConfig) *Luccio {
+	cfg.fill()
+	side := xmath.CeilPow2(n)
+	p := memmap.LemmaOne(n, cfg.K)
+	mp := memmap.Generate(p, cfg.Seed)
+	nw := mot.NewNetwork(side, mot.ModulesAtRoots, mot.Config{Policy: cfg.Policy})
+	st := quorum.NewStore(mp)
+	name := fmt.Sprintf("2DMOT-Luccio90(n=%d, side=%d, r=%d)", n, side, p.R())
+	m := &Luccio{
+		Machine: quorum.NewMachine(name, n, cfg.Mode, st, nw),
+		P:       p,
+		Side:    side,
+		Net:     nw,
+	}
+	if cfg.TwoStage {
+		m.SetTwoStage(&quorum.TwoStageConfig{})
+	}
+	return m
+}

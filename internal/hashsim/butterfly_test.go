@@ -1,0 +1,104 @@
+package hashsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ideal"
+	"repro/internal/model"
+	"repro/internal/workloads"
+)
+
+func TestButterflyMachineSemantics(t *testing.T) {
+	const n, m = 16, 256
+	hm := New(n, Config{MemCells: m, Mode: model.CRCWPriority, Butterfly: true})
+	id := ideal.New(n, m, model.CRCWPriority)
+	rng := rand.New(rand.NewSource(6))
+	for round := 0; round < 8; round++ {
+		batch := model.NewBatch(n)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				batch[i] = model.Request{Proc: i, Op: model.OpRead, Addr: rng.Intn(m)}
+			case 1:
+				batch[i] = model.Request{Proc: i, Op: model.OpWrite, Addr: rng.Intn(m), Value: model.Word(rng.Intn(500))}
+			}
+		}
+		hr := hm.ExecuteStep(batch)
+		ir := id.ExecuteStep(batch)
+		for p, v := range ir.Values {
+			if hr.Values[p] != v {
+				t.Fatalf("round %d proc %d: %d vs ideal %d", round, p, hr.Values[p], v)
+			}
+		}
+		if batch.Active() > 0 && hr.NetworkCycles == 0 {
+			t.Error("butterfly machine charged no cycles")
+		}
+	}
+	for a := 0; a < m; a++ {
+		if hm.ReadCell(a) != id.ReadCell(a) {
+			t.Fatalf("cell %d diverged", a)
+		}
+	}
+}
+
+func TestButterflyAdversarialSlower(t *testing.T) {
+	const n = 64
+	hm := New(n, Config{Seed: 3, Butterfly: true})
+	rng := rand.New(rand.NewSource(8))
+	random := model.NewBatch(n)
+	for i := 0; i < n; i++ {
+		random[i] = model.Request{Proc: i, Op: model.OpRead, Addr: rng.Intn(hm.MemSize())}
+	}
+	rRnd := hm.ExecuteStep(random)
+	adv := AdversarialBatch(hm.Hash(), n, hm.MemSize())
+	rAdv := hm.ExecuteStep(adv)
+	if rAdv.NetworkCycles <= 2*rRnd.NetworkCycles {
+		t.Errorf("adversarial step (%d cycles) not clearly slower than random (%d)",
+			rAdv.NetworkCycles, rRnd.NetworkCycles)
+	}
+	t.Logf("random=%d cycles, adversarial=%d cycles", rRnd.NetworkCycles, rAdv.NetworkCycles)
+}
+
+func TestButterflyHotSpotCombines(t *testing.T) {
+	// Same-address concurrent reads combine in the network: cheap even
+	// though they all target one module.
+	const n = 64
+	hm := New(n, Config{Seed: 3, Butterfly: true})
+	batch := model.NewBatch(n)
+	for i := 0; i < n; i++ {
+		batch[i] = model.Request{Proc: i, Op: model.OpRead, Addr: 7}
+	}
+	rep := hm.ExecuteStep(batch)
+	// Combined traffic routes in near-latency time, far below n.
+	if rep.NetworkCycles > int64(8*6+16) {
+		t.Errorf("combined hot spot cost %d cycles", rep.NetworkCycles)
+	}
+}
+
+func TestButterflyWorkload(t *testing.T) {
+	w := workloads.PrefixSum(16, 3)
+	hm := New(w.Procs, Config{MemCells: w.Cells, Mode: w.Mode, Butterfly: true})
+	if _, err := workloads.RunOn(w, hm); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestButterflyConfigValidation(t *testing.T) {
+	for _, tc := range []struct {
+		n   int
+		cfg Config
+	}{
+		{12, Config{Butterfly: true}},              // not a power of two
+		{16, Config{Butterfly: true, Modules: 32}}, // modules > n
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("n=%d cfg=%+v did not panic", tc.n, tc.cfg)
+				}
+			}()
+			New(tc.n, tc.cfg)
+		}()
+	}
+}

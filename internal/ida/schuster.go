@@ -1,0 +1,351 @@
+package ida
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/gf"
+	"repro/internal/model"
+	"repro/internal/xmath"
+)
+
+// Memory is the Schuster (1987) P-RAM shared memory: the m cells are
+// divided into blocks of b cells; each block is stored in recoded form as
+// d versioned shares spread over d distinct modules of an n-processor MPC.
+// Accessing a variable touches a quorum of (d+b)/2 shares of its block —
+// any two such quorums intersect in ≥ b shares, so a read always finds b
+// shares of the latest version and can decode.
+//
+// With b and d both Θ(log n), total memory grows only by the constant
+// factor d/b, while each access processes Θ(b) elements — exactly the
+// trade the paper quotes for this scheme. Implements model.Backend.
+type Memory struct {
+	n, m   int
+	mode   model.Mode
+	disp   *Dispersal
+	q      int // quorum size (d+b)/2
+	blocks int
+	mods   int // module count (= n: MPC granularity)
+
+	shareMod []uint32  // blocks×d: module of each share
+	version  []uint32  // blocks×d: version stamp of each share
+	data     []gf.Elem // blocks×d×limbs: share payloads
+	clock    uint32
+
+	// accumulated work statistics
+	fieldOps int64
+}
+
+// limbs is the number of 16-bit field elements a 64-bit word splits into.
+const limbs = 4
+
+// Config sizes the memory.
+type Config struct {
+	// MemCells is m, the number of shared cells (default n²).
+	MemCells int
+	// BlockLen is b (default max(2, ceil(log2 n)) — the paper's Θ(log n)).
+	BlockLen int
+	// Shares is d (default 2b, storage blowup 2).
+	Shares int
+	// Mode is the conflict convention (default CRCW-Priority).
+	Mode model.Mode
+	// Seed scatters shares over modules.
+	Seed int64
+}
+
+// NewMemory builds a Schuster memory for an n-processor machine.
+func NewMemory(n int, cfg Config) *Memory {
+	if cfg.MemCells == 0 {
+		cfg.MemCells = n * n
+	}
+	if cfg.BlockLen == 0 {
+		cfg.BlockLen = max(2, xmath.CeilLog2(n))
+	}
+	if cfg.Shares == 0 {
+		cfg.Shares = 2 * cfg.BlockLen
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Shares > n {
+		panic(fmt.Sprintf("ida.NewMemory: d=%d shares need d distinct modules but M=n=%d", cfg.Shares, n))
+	}
+	disp := NewDispersal(cfg.BlockLen, cfg.Shares)
+	blocks := xmath.CeilDiv(cfg.MemCells, cfg.BlockLen)
+	mem := &Memory{
+		n:    n,
+		m:    cfg.MemCells,
+		mode: cfg.Mode,
+		disp: disp,
+		// Quorum ceil((d+b)/2): any two quorums intersect in ≥ b shares.
+		q:        (cfg.Shares + cfg.BlockLen + 1) / 2,
+		blocks:   blocks,
+		mods:     n,
+		shareMod: make([]uint32, blocks*cfg.Shares),
+		version:  make([]uint32, blocks*cfg.Shares),
+		data:     make([]gf.Elem, blocks*cfg.Shares*limbs),
+	}
+	mem.placeShares(cfg.Seed)
+	mem.initZeroBlocks()
+	return mem
+}
+
+// placeShares assigns each block's d shares to d distinct modules,
+// deterministically from the seed.
+func (mem *Memory) placeShares(seed int64) {
+	d := mem.disp.D()
+	for blk := 0; blk < mem.blocks; blk++ {
+		seen := make(map[uint32]bool, d)
+		for s := 0; s < d; s++ {
+			h := mix(uint64(seed) ^ uint64(blk)*0x9e37 ^ uint64(s)<<32)
+			mod := uint32(h % uint64(mem.mods))
+			for seen[mod] {
+				h = mix(h)
+				mod = uint32(h % uint64(mem.mods))
+			}
+			seen[mod] = true
+			mem.shareMod[blk*d+s] = mod
+		}
+	}
+}
+
+// initZeroBlocks stores the encoding of the all-zero block everywhere
+// (evaluations of the zero polynomial are zero, so the zero value already
+// in data is correct; versions stay 0).
+func (mem *Memory) initZeroBlocks() {}
+
+// Name implements model.Backend.
+func (mem *Memory) Name() string {
+	return fmt.Sprintf("Schuster-IDA(n=%d, b=%d, d=%d)", mem.n, mem.disp.B(), mem.disp.D())
+}
+
+// MemSize implements model.Backend.
+func (mem *Memory) MemSize() int { return mem.m }
+
+// Procs implements model.Backend.
+func (mem *Memory) Procs() int { return mem.n }
+
+// Blowup returns the storage expansion d/b (the scheme's "redundancy" in
+// space, a constant by construction).
+func (mem *Memory) Blowup() float64 { return mem.disp.Blowup() }
+
+// QuorumSize returns (d+b)/2, the shares touched per access.
+func (mem *Memory) QuorumSize() int { return mem.q }
+
+// FieldOps returns the accumulated field-operation work — the scheme's
+// hidden Θ(log n) per-access cost.
+func (mem *Memory) FieldOps() int64 { return mem.fieldOps }
+
+// ExecuteStep implements model.Backend.
+func (mem *Memory) ExecuteStep(batch model.Batch) model.StepReport {
+	rep := model.StepReport{Values: make(map[int]model.Word, batch.Reads())}
+	rep.Err = model.CheckConflicts(batch, mem.mode)
+
+	// Group the step's accesses by block.
+	type blockWork struct {
+		readers []model.Request
+		writers []model.Request
+	}
+	work := make(map[int]*blockWork)
+	for _, r := range batch {
+		if r.Op == model.OpNone {
+			continue
+		}
+		blk := r.Addr / mem.disp.B()
+		bw := work[blk]
+		if bw == nil {
+			bw = &blockWork{}
+			work[blk] = bw
+		}
+		if r.Op == model.OpRead {
+			bw.readers = append(bw.readers, r)
+		} else {
+			bw.writers = append(bw.writers, r)
+		}
+	}
+	blks := make([]int, 0, len(work))
+	for b := range work {
+		blks = append(blks, b)
+	}
+	sort.Ints(blks)
+
+	mem.clock++
+	var accesses int64
+	loads := make(map[uint32]int)
+	for _, blk := range blks {
+		bw := work[blk]
+		block := mem.readBlock(blk, &accesses, loads)
+		// Reads observe pre-step state.
+		for _, r := range bw.readers {
+			rep.Values[r.Proc] = decodeWord(block, r.Addr%mem.disp.B())
+		}
+		// Apply this block's writes per conflict mode, then re-disperse.
+		if len(bw.writers) > 0 {
+			sort.Slice(bw.writers, func(i, j int) bool {
+				return bw.writers[i].Proc < bw.writers[j].Proc
+			})
+			applied := map[int]bool{}
+			for _, w := range bw.writers {
+				off := w.Addr % mem.disp.B()
+				if mem.mode == model.CRCWArbitrary {
+					encodeWord(block, off, w.Value) // last (highest proc) wins
+				} else if !applied[off] {
+					encodeWord(block, off, w.Value) // first (lowest proc) wins
+					applied[off] = true
+				}
+			}
+			mem.writeBlock(blk, block, &accesses, loads)
+		}
+	}
+	// Cost: the step's share accesses are served by modules of bandwidth
+	// one per phase, so the step takes max-module-load phases.
+	maxLoad := 0
+	for _, l := range loads {
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	rep.Time = int64(maxLoad)
+	rep.Phases = maxLoad
+	rep.CopyAccesses = accesses
+	rep.ModuleContention = maxLoad
+	return rep
+}
+
+// quorumShares returns the deterministic, version-rotated q-subset of
+// share indices used for this access.
+func (mem *Memory) quorumShares(blk int, salt uint32) []int {
+	d := mem.disp.D()
+	start := int(mix(uint64(blk)<<32|uint64(salt)) % uint64(d))
+	out := make([]int, mem.q)
+	for i := range out {
+		out[i] = (start + i) % d
+	}
+	return out
+}
+
+// readBlock gathers a read quorum, finds the newest version, and decodes
+// the block's limb planes.
+func (mem *Memory) readBlock(blk int, accesses *int64, loads map[uint32]int) []gf.Vec {
+	d := mem.disp.D()
+	idxs := mem.quorumShares(blk, mem.clock)
+	newest := uint32(0)
+	for _, s := range idxs {
+		*accesses++
+		loads[mem.shareMod[blk*d+s]]++
+		if v := mem.version[blk*d+s]; v > newest {
+			newest = v
+		}
+	}
+	// Collect b shares carrying the newest version (quorum intersection
+	// guarantees at least b exist among the q read).
+	var take []int
+	for _, s := range idxs {
+		if mem.version[blk*d+s] == newest {
+			take = append(take, s)
+		}
+		if len(take) == mem.disp.B() {
+			break
+		}
+	}
+	if len(take) < mem.disp.B() {
+		panic(fmt.Sprintf("ida: quorum intersection violated at block %d: %d fresh shares < b=%d",
+			blk, len(take), mem.disp.B()))
+	}
+	planes := make([]gf.Vec, limbs)
+	for pl := 0; pl < limbs; pl++ {
+		shares := make(gf.Vec, mem.disp.B())
+		for i, s := range take {
+			shares[i] = mem.data[(blk*d+s)*limbs+pl]
+		}
+		planes[pl] = mem.disp.Decode(take, shares)
+		mem.fieldOps += mem.disp.FieldOpsDecode()
+	}
+	return planes
+}
+
+// writeBlock re-encodes the block and installs a write quorum of shares
+// with a fresh version.
+func (mem *Memory) writeBlock(blk int, planes []gf.Vec, accesses *int64, loads map[uint32]int) {
+	d := mem.disp.D()
+	newVersion := mem.clock
+	encoded := make([]gf.Vec, limbs)
+	for pl := 0; pl < limbs; pl++ {
+		encoded[pl] = mem.disp.Encode(planes[pl])
+		mem.fieldOps += mem.disp.FieldOpsEncode()
+	}
+	for _, s := range mem.quorumShares(blk, mem.clock^0x5bd1) {
+		*accesses++
+		loads[mem.shareMod[blk*d+s]]++
+		mem.version[blk*d+s] = newVersion
+		for pl := 0; pl < limbs; pl++ {
+			mem.data[(blk*d+s)*limbs+pl] = encoded[pl][s]
+		}
+	}
+}
+
+// ReadCell implements model.Backend (zero-cost verification view).
+func (mem *Memory) ReadCell(a model.Addr) model.Word {
+	var acc int64
+	var loads = map[uint32]int{}
+	block := mem.readBlock(a/mem.disp.B(), &acc, loads)
+	return decodeWord(block, a%mem.disp.B())
+}
+
+// LoadCells implements model.Backend: bulk initialization re-disperses the
+// touched blocks at full width (all d shares, version 0 semantics kept by
+// bumping the clock so later quorum reads see consistency).
+func (mem *Memory) LoadCells(base model.Addr, vals []model.Word) {
+	b := mem.disp.B()
+	d := mem.disp.D()
+	touched := map[int]bool{}
+	for i := range vals {
+		touched[(base+i)/b] = true
+	}
+	var acc int64
+	loads := map[uint32]int{}
+	mem.clock++
+	for blk := range touched {
+		planes := mem.readBlock(blk, &acc, loads)
+		for i, v := range vals {
+			if (base+i)/b == blk {
+				encodeWord(planes, (base+i)%b, v)
+			}
+		}
+		// Install ALL d shares (setup is free and total).
+		newVersion := mem.clock
+		for pl := 0; pl < limbs; pl++ {
+			enc := mem.disp.Encode(planes[pl])
+			for s := 0; s < d; s++ {
+				mem.data[(blk*d+s)*limbs+pl] = enc[s]
+				mem.version[blk*d+s] = newVersion
+			}
+		}
+	}
+}
+
+// encodeWord splits a 64-bit word into the block's four 16-bit limb planes
+// at cell offset off.
+func encodeWord(planes []gf.Vec, off int, w model.Word) {
+	u := uint64(w)
+	for pl := 0; pl < limbs; pl++ {
+		planes[pl][off] = gf.Elem((u >> (16 * pl)) & 0xffff)
+	}
+}
+
+// decodeWord reassembles a 64-bit word from the limb planes.
+func decodeWord(planes []gf.Vec, off int) model.Word {
+	var u uint64
+	for pl := 0; pl < limbs; pl++ {
+		u |= uint64(planes[pl][off]) << (16 * pl)
+	}
+	return model.Word(u)
+}
+
+// mix is splitmix64's finalizer.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,93 @@
+package ideal
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestNewPanicsOnBadArgs(t *testing.T) {
+	for _, tc := range []struct{ n, m int }{{0, 1}, {1, 0}, {-1, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", tc.n, tc.m)
+				}
+			}()
+			New(tc.n, tc.m, model.EREW)
+		}()
+	}
+}
+
+func TestBasicReadWrite(t *testing.T) {
+	p := New(4, 8, model.EREW)
+	w := model.NewBatch(4)
+	w[0] = model.Request{Proc: 0, Op: model.OpWrite, Addr: 3, Value: 42}
+	rep := p.ExecuteStep(w)
+	if rep.Err != nil {
+		t.Fatalf("write step error: %v", rep.Err)
+	}
+	if rep.Time != 1 {
+		t.Errorf("ideal step time = %d, want 1", rep.Time)
+	}
+	r := model.NewBatch(4)
+	r[1] = model.Request{Proc: 1, Op: model.OpRead, Addr: 3}
+	rep = p.ExecuteStep(r)
+	if got := rep.Values[1]; got != 42 {
+		t.Errorf("read returned %d, want 42", got)
+	}
+	if p.Steps() != 2 {
+		t.Errorf("steps = %d, want 2", p.Steps())
+	}
+}
+
+func TestEREWViolationReportedButExecuted(t *testing.T) {
+	p := New(2, 4, model.EREW)
+	b := model.Batch{
+		{Proc: 0, Op: model.OpWrite, Addr: 0, Value: 5},
+		{Proc: 1, Op: model.OpWrite, Addr: 0, Value: 9},
+	}
+	rep := p.ExecuteStep(b)
+	if rep.Err == nil {
+		t.Error("EREW violation not reported")
+	}
+	if p.ReadCell(0) != 5 {
+		t.Errorf("priority fallback wrote %d, want 5", p.ReadCell(0))
+	}
+}
+
+func TestLoadCellsAndReadCell(t *testing.T) {
+	p := New(1, 10, model.CREW)
+	p.LoadCells(4, []model.Word{1, 2, 3})
+	for i, want := range []model.Word{1, 2, 3} {
+		if got := p.ReadCell(4 + i); got != want {
+			t.Errorf("cell %d = %d, want %d", 4+i, got, want)
+		}
+	}
+	if p.ReadCell(0) != 0 {
+		t.Error("untouched cell not zero")
+	}
+}
+
+func TestContentionDiagnostic(t *testing.T) {
+	p := New(4, 4, model.CRCWPriority)
+	b := model.Batch{
+		{Proc: 0, Op: model.OpRead, Addr: 2},
+		{Proc: 1, Op: model.OpRead, Addr: 2},
+		{Proc: 2, Op: model.OpRead, Addr: 2},
+		{Proc: 3, Op: model.OpRead, Addr: 1},
+	}
+	rep := p.ExecuteStep(b)
+	if rep.ModuleContention != 3 {
+		t.Errorf("contention = %d, want 3", rep.ModuleContention)
+	}
+	if rep.CopyAccesses != 4 {
+		t.Errorf("copy accesses = %d, want 4", rep.CopyAccesses)
+	}
+}
+
+func TestName(t *testing.T) {
+	if got := New(1, 1, model.CRCWPriority).Name(); got != "ideal-PRAM(CRCW-priority)" {
+		t.Errorf("Name() = %q", got)
+	}
+}

@@ -1,0 +1,29 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble: the assembler must never panic — arbitrary text yields
+// either a program or an *AsmError.
+func FuzzAssemble(f *testing.F) {
+	f.Add(ProgTreeSum)
+	f.Add(ProgPrefixSum)
+	f.Add("loadi r1, 5\nwrite (r0), r1\nhalt")
+	f.Add("label:::")
+	f.Add("jmp jmp jmp")
+	f.Add("read r1, (r999)")
+	f.Add(strings.Repeat("a: ", 100))
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble(src)
+		if err == nil && prog == nil {
+			t.Fatal("nil program without error")
+		}
+		if err != nil {
+			if _, ok := err.(*AsmError); !ok {
+				t.Fatalf("non-AsmError failure: %v", err)
+			}
+		}
+	})
+}

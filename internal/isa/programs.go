@@ -1,0 +1,115 @@
+package isa
+
+// Library of P-RAM assembly programs — the classical kernels written in
+// the formal RAM model, used by tests, cmd/pramasm demos and the assembly
+// example. Each constant assembles with Assemble and runs SPMD.
+
+// ProgTreeSum reduces cells [0,n) into cell 0 by a balanced binary tree
+// (EREW, 3 shared ops per round for actives and passives alike).
+const ProgTreeSum = `
+        id     r1            ; r1 = my id
+        nprocs r2            ; r2 = n
+        loadi  r3, 1         ; r3 = stride
+round:  slt    r4, r3, r2
+        beqz   r4, done
+        loadi  r5, 2
+        mul    r5, r5, r3    ; 2*stride
+        mod    r6, r1, r5
+        add    r7, r1, r3    ; partner = id + stride
+        slt    r8, r7, r2
+        seq    r9, r6, r0    ; id % 2stride == 0
+        and    r9, r9, r8
+        beqz   r9, passive
+        read   r10, (r1)
+        read   r11, (r7)
+        add    r10, r10, r11
+        write  (r1), r10
+        jmp    next
+passive: sync
+        sync
+        sync
+next:   loadi  r5, 2
+        mul    r3, r3, r5
+        jmp    round
+done:   halt
+`
+
+// ProgPrefixSum computes inclusive prefix sums of cells [0,n) by
+// Hillis–Steele doubling with a scratch buffer at [n,2n) (CREW). The
+// result is normalized back into [0,n).
+const ProgPrefixSum = `
+        id     r1            ; id
+        nprocs r2            ; n
+        loadi  r3, 1         ; stride
+        mov    r4, r0        ; src base = 0
+        mov    r5, r2        ; dst base = n
+        mov    r15, r0       ; rounds parity
+loop:   slt    r6, r3, r2
+        beqz   r6, fixup
+        add    r7, r4, r1    ; src + id
+        read   r8, (r7)      ; v = buf[src+id]
+        slt    r9, r1, r3    ; id < stride ?
+        bnez   r9, nosum
+        sub    r10, r1, r3
+        add    r10, r4, r10
+        read   r11, (r10)    ; buf[src+id-stride]
+        add    r8, r8, r11
+        jmp    wr
+nosum:  sync                 ; keep lockstep with the readers
+wr:     add    r12, r5, r1
+        write  (r12), r8     ; buf[dst+id] = v
+        ; swap src/dst
+        mov    r13, r4
+        mov    r4, r5
+        mov    r5, r13
+        loadi  r6, 1
+        xor    r15, r15, r6  ; flip parity
+        loadi  r6, 2
+        mul    r3, r3, r6
+        jmp    loop
+fixup:  beqz   r15, done     ; even rounds: result already in [0,n)
+        add    r7, r2, r1
+        read   r8, (r7)
+        write  (r1), r8
+done:   halt
+`
+
+// ProgMaxDoubling finds the maximum of cells [0,n) into cell 0 by the
+// same tree schedule as ProgTreeSum, keeping the larger of each pair
+// (EREW).
+const ProgMaxDoubling = `
+        id     r1
+        nprocs r2
+        loadi  r3, 1
+round:  slt    r4, r3, r2
+        beqz   r4, done
+        loadi  r5, 2
+        mul    r5, r5, r3
+        mod    r6, r1, r5
+        add    r7, r1, r3
+        slt    r8, r7, r2
+        seq    r9, r6, r0
+        and    r9, r9, r8
+        beqz   r9, passive
+        read   r10, (r1)
+        read   r11, (r7)
+        slt    r12, r10, r11  ; mine < theirs ?
+        beqz   r12, keep
+        mov    r10, r11
+keep:   write  (r1), r10
+        jmp    next
+passive: sync
+        sync
+        sync
+next:   loadi  r5, 2
+        mul    r3, r3, r5
+        jmp    round
+done:   halt
+`
+
+// Programs lists the library for enumeration in tools and tests.
+var Programs = map[string]string{
+	"treesum":   ProgTreeSum,
+	"prefixsum": ProgPrefixSum,
+	"max":       ProgMaxDoubling,
+}

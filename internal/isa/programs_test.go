@@ -1,0 +1,107 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ideal"
+	"repro/internal/machine"
+	"repro/internal/model"
+)
+
+func TestAllLibraryProgramsAssemble(t *testing.T) {
+	for name, src := range Programs {
+		if _, err := Assemble(src); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func runAsm(t *testing.T, src string, b model.Backend) *machine.RunReport {
+	t.Helper()
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := machine.New(b).Run(Bind(prog, VMConfig{}))
+	if err := rep.Err(); err != nil {
+		t.Fatalf("%s: %v", b.Name(), err)
+	}
+	return rep
+}
+
+func TestProgPrefixSum(t *testing.T) {
+	const n = 16
+	rng := rand.New(rand.NewSource(5))
+	input := make([]model.Word, n)
+	want := make([]model.Word, n)
+	var acc model.Word
+	for i := range input {
+		input[i] = model.Word(rng.Intn(100))
+		acc += input[i]
+		want[i] = acc
+	}
+	for _, mk := range []func() model.Backend{
+		func() model.Backend { return ideal.New(n, 2*n, model.CREW) },
+		func() model.Backend { return core.NewDMMPC(n, core.Config{Mode: model.CREW}) },
+	} {
+		b := mk()
+		b.LoadCells(0, input)
+		runAsm(t, ProgPrefixSum, b)
+		for i := 0; i < n; i++ {
+			if got := b.ReadCell(i); got != want[i] {
+				t.Errorf("%s: prefix[%d] = %d, want %d", b.Name(), i, got, want[i])
+			}
+		}
+	}
+}
+
+func TestProgPrefixSumOddRoundCount(t *testing.T) {
+	// n = 8 → 3 doubling rounds (odd): exercises the fixup path.
+	const n = 8
+	input := []model.Word{1, 2, 3, 4, 5, 6, 7, 8}
+	b := ideal.New(n, 2*n, model.CREW)
+	b.LoadCells(0, input)
+	runAsm(t, ProgPrefixSum, b)
+	acc := model.Word(0)
+	for i, v := range input {
+		acc += v
+		if got := b.ReadCell(i); got != acc {
+			t.Errorf("prefix[%d] = %d, want %d", i, got, acc)
+		}
+	}
+}
+
+func TestProgMaxDoubling(t *testing.T) {
+	const n = 32
+	rng := rand.New(rand.NewSource(9))
+	input := make([]model.Word, n)
+	var want model.Word
+	for i := range input {
+		input[i] = model.Word(rng.Intn(10000))
+		if input[i] > want {
+			want = input[i]
+		}
+	}
+	b := ideal.New(n, n, model.EREW)
+	b.LoadCells(0, input)
+	rep := runAsm(t, ProgMaxDoubling, b)
+	if got := b.ReadCell(0); got != want {
+		t.Errorf("max = %d, want %d", got, want)
+	}
+	if len(rep.Violations) != 0 {
+		t.Errorf("EREW violated: %v", rep.Violations[0])
+	}
+}
+
+func TestProgTreeSumEquivalentOnMOT(t *testing.T) {
+	const n = 8
+	input := []model.Word{3, 1, 4, 1, 5, 9, 2, 6}
+	b := core.NewMOT2D(n, core.MOTConfig{Mode: model.EREW})
+	b.LoadCells(0, input)
+	runAsm(t, ProgTreeSum, b)
+	if got := b.ReadCell(0); got != 31 {
+		t.Errorf("sum on 2DMOT = %d, want 31", got)
+	}
+}

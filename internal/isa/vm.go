@@ -1,0 +1,154 @@
+package isa
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/model"
+)
+
+// DefaultFuel caps executed instructions per processor; exceeding it is a
+// runaway program (reported as a processor panic by the harness).
+const DefaultFuel = 1 << 22
+
+// DefaultPrivSize is the private RAM size per processor.
+const DefaultPrivSize = 1 << 12
+
+// VMConfig tunes a bound program.
+type VMConfig struct {
+	// PrivSize is the private memory size in words (default 4096).
+	PrivSize int
+	// Fuel is the instruction budget (default DefaultFuel).
+	Fuel int64
+}
+
+// Bind turns an assembled program into a machine.Program: every processor
+// runs its own VM instance over the same code, with private registers and
+// private RAM, exactly the P-RAM's n identical RAMs.
+func Bind(p *Program, cfg VMConfig) machine.Program {
+	if cfg.PrivSize == 0 {
+		cfg.PrivSize = DefaultPrivSize
+	}
+	if cfg.Fuel == 0 {
+		cfg.Fuel = DefaultFuel
+	}
+	return func(proc *machine.Proc) {
+		vm := &VM{
+			prog: p,
+			proc: proc,
+			priv: make([]int64, cfg.PrivSize),
+			fuel: cfg.Fuel,
+		}
+		vm.Run()
+	}
+}
+
+// VM executes one processor's instance of a program.
+type VM struct {
+	prog *Program
+	proc *machine.Proc
+	regs [NumRegs]int64
+	priv []int64
+	pc   int
+	fuel int64
+
+	// Executed counts retired instructions (for tests/diagnostics).
+	Executed int64
+}
+
+// Reg returns a register value (diagnostics).
+func (vm *VM) Reg(i int) int64 { return vm.regs[i] }
+
+// Run executes until halt, end-of-program, or fuel exhaustion (which
+// panics — the harness converts it to a reported processor failure).
+func (vm *VM) Run() {
+	for vm.pc < len(vm.prog.Instrs) {
+		if vm.fuel--; vm.fuel < 0 {
+			panic(fmt.Sprintf("isa: fuel exhausted at pc=%d (line %d)",
+				vm.pc, vm.prog.Instrs[vm.pc].Line))
+		}
+		in := vm.prog.Instrs[vm.pc]
+		vm.pc++
+		vm.Executed++
+		r := &vm.regs
+		switch in.Op {
+		case OpLoadI:
+			r[in.A] = in.Imm
+		case OpMov:
+			r[in.A] = r[in.B]
+		case OpAdd:
+			r[in.A] = r[in.B] + r[in.C]
+		case OpSub:
+			r[in.A] = r[in.B] - r[in.C]
+		case OpMul:
+			r[in.A] = r[in.B] * r[in.C]
+		case OpDiv:
+			if r[in.C] == 0 {
+				panic(fmt.Sprintf("isa: division by zero at line %d", in.Line))
+			}
+			r[in.A] = r[in.B] / r[in.C]
+		case OpMod:
+			if r[in.C] == 0 {
+				panic(fmt.Sprintf("isa: modulo by zero at line %d", in.Line))
+			}
+			r[in.A] = r[in.B] % r[in.C]
+		case OpAnd:
+			r[in.A] = r[in.B] & r[in.C]
+		case OpOr:
+			r[in.A] = r[in.B] | r[in.C]
+		case OpXor:
+			r[in.A] = r[in.B] ^ r[in.C]
+		case OpShl:
+			r[in.A] = r[in.B] << uint(r[in.C]&63)
+		case OpShr:
+			r[in.A] = r[in.B] >> uint(r[in.C]&63)
+		case OpSlt:
+			r[in.A] = bool2int(r[in.B] < r[in.C])
+		case OpSeq:
+			r[in.A] = bool2int(r[in.B] == r[in.C])
+		case OpID:
+			r[in.A] = int64(vm.proc.ID())
+		case OpNProcs:
+			r[in.A] = int64(vm.proc.N())
+		case OpLoad:
+			r[in.A] = vm.priv[vm.privAddr(r[in.B], in.Line)]
+		case OpStore:
+			vm.priv[vm.privAddr(r[in.B], in.Line)] = r[in.A]
+		case OpRead:
+			r[in.A] = vm.proc.Read(model.Addr(r[in.B]))
+		case OpWrite:
+			vm.proc.Write(model.Addr(r[in.B]), r[in.A])
+		case OpSync:
+			vm.proc.Sync()
+		case OpJmp:
+			vm.pc = in.Target
+		case OpBeqz:
+			if r[in.A] == 0 {
+				vm.pc = in.Target
+			}
+		case OpBnez:
+			if r[in.A] != 0 {
+				vm.pc = in.Target
+			}
+		case OpHalt:
+			return
+		default:
+			panic(fmt.Sprintf("isa: bad opcode %d at line %d", in.Op, in.Line))
+		}
+	}
+}
+
+func (vm *VM) privAddr(a int64, line int) int {
+	if a < 0 || a >= int64(len(vm.priv)) {
+		panic(fmt.Sprintf("isa: private address %d out of [0,%d) at line %d",
+			a, len(vm.priv), line))
+	}
+	return int(a)
+}
+
+func bool2int(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,205 @@
+// Package machine executes P-RAM programs. Each of the n P-RAM processors
+// runs as a goroutine; a coordinator gathers exactly one memory action per
+// active processor per step, forwards the batch to a model.Backend (the
+// ideal P-RAM or any of the simulating machines), and releases the
+// processors in lockstep — goroutines as P-RAM processors, channels as the
+// synchronous step barrier.
+//
+// The same Program therefore runs, unmodified, on every machine model in the
+// repository, with the backend deciding only how much simulated time each
+// step costs.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Program is the code of one P-RAM processor. It runs in its own goroutine
+// and interacts with shared memory only through p. Returning halts the
+// processor; remaining processors keep stepping.
+type Program func(p *Proc)
+
+// Proc is the interface a running processor has to the machine: its
+// identity and the three P-RAM step primitives. Each call to Read, Write or
+// Sync is one P-RAM step boundary; local computation between calls is free,
+// exactly as in the model.
+type Proc struct {
+	id int
+	n  int
+	mc *Machine
+}
+
+// ID returns this processor's index in [0, n).
+func (p *Proc) ID() int { return p.id }
+
+// N returns the machine's processor count.
+func (p *Proc) N() int { return p.n }
+
+// Read performs a shared-memory read as this processor's action for the
+// current step and returns the value (the cell's content at step start).
+func (p *Proc) Read(a model.Addr) model.Word {
+	return p.mc.submit(p.id, model.Request{Proc: p.id, Op: model.OpRead, Addr: a})
+}
+
+// Write performs a shared-memory write as this processor's action for the
+// current step.
+func (p *Proc) Write(a model.Addr, v model.Word) {
+	p.mc.submit(p.id, model.Request{Proc: p.id, Op: model.OpWrite, Addr: a, Value: v})
+}
+
+// Sync spends one step doing only local computation (a P-RAM no-op step),
+// keeping this processor in lockstep with the others.
+func (p *Proc) Sync() {
+	p.mc.submit(p.id, model.Request{Proc: p.id, Op: model.OpNone})
+}
+
+// RunReport aggregates the cost of a complete program run.
+type RunReport struct {
+	Steps         int64 // P-RAM steps executed
+	SimTime       int64 // total simulated time in the backend's unit
+	Phases        int64 // total quorum phases (module machines)
+	NetworkCycles int64 // total interconnect cycles (2DMOT)
+	CopyAccesses  int64 // total variable-copy accesses
+	MaxContention int   // worst per-module load seen in any step
+	Violations    []error
+	Panics        []error
+}
+
+// Err returns the first conflict violation or processor panic, or nil.
+func (r *RunReport) Err() error {
+	if len(r.Violations) > 0 {
+		return r.Violations[0]
+	}
+	if len(r.Panics) > 0 {
+		return r.Panics[0]
+	}
+	return nil
+}
+
+// Machine couples n processor goroutines to a backend.
+type Machine struct {
+	backend model.Backend
+	n       int
+
+	subCh   chan submission
+	replyCh []chan model.Word
+}
+
+type submission struct {
+	proc int
+	req  model.Request
+	halt bool
+	err  error // non-nil when the processor goroutine panicked
+}
+
+// New returns a machine driving backend with backend.Procs() processors.
+func New(backend model.Backend) *Machine {
+	n := backend.Procs()
+	m := &Machine{
+		backend: backend,
+		n:       n,
+		subCh:   make(chan submission, n),
+		replyCh: make([]chan model.Word, n),
+	}
+	for i := range m.replyCh {
+		m.replyCh[i] = make(chan model.Word, 1)
+	}
+	return m
+}
+
+// Backend returns the machine's backend.
+func (m *Machine) Backend() model.Backend { return m.backend }
+
+// submit hands the coordinator this processor's action for the current step
+// and blocks until the step has been executed on the backend (the lockstep
+// barrier). For reads the returned word is the read result.
+func (m *Machine) submit(proc int, req model.Request) model.Word {
+	m.subCh <- submission{proc: proc, req: req}
+	return <-m.replyCh[proc]
+}
+
+// Run executes program on all n processors and returns the aggregate cost
+// report. It blocks until every processor has halted.
+func (m *Machine) Run(program Program) *RunReport {
+	return m.RunEach(func(int) Program { return program })
+}
+
+// RunEach executes a per-processor program selected by pick(id). It blocks
+// until every processor has halted.
+func (m *Machine) RunEach(pick func(id int) Program) *RunReport {
+	for i := 0; i < m.n; i++ {
+		go m.runProc(i, pick(i))
+	}
+	return m.coordinate()
+}
+
+// runProc hosts one processor goroutine, converting panics into a halt
+// submission so a crashing processor cannot deadlock the machine.
+func (m *Machine) runProc(id int, program Program) {
+	defer func() {
+		var perr error
+		if r := recover(); r != nil {
+			perr = fmt.Errorf("processor %d panicked: %v", id, r)
+		}
+		m.subCh <- submission{proc: id, halt: true, err: perr}
+	}()
+	program(&Proc{id: id, n: m.n, mc: m})
+}
+
+// coordinate is the step loop: gather one submission per active processor,
+// execute the batch, release the barrier.
+func (m *Machine) coordinate() *RunReport {
+	rep := &RunReport{}
+	active := make([]bool, m.n)
+	for i := range active {
+		active[i] = true
+	}
+	remaining := m.n
+	pending := make([]submission, 0, m.n)
+	for remaining > 0 {
+		pending = pending[:0]
+		need := remaining
+		for len(pending) < need {
+			s := <-m.subCh
+			if s.halt {
+				active[s.proc] = false
+				remaining--
+				need--
+				if s.err != nil {
+					rep.Panics = append(rep.Panics, s.err)
+				}
+				continue
+			}
+			pending = append(pending, s)
+		}
+		if len(pending) == 0 {
+			break // everyone halted
+		}
+		batch := model.NewBatch(m.n)
+		for _, s := range pending {
+			batch[s.proc] = s.req
+		}
+		sr := m.backend.ExecuteStep(batch)
+		rep.Steps++
+		rep.SimTime += sr.Time
+		rep.Phases += int64(sr.Phases)
+		rep.NetworkCycles += sr.NetworkCycles
+		rep.CopyAccesses += sr.CopyAccesses
+		if sr.ModuleContention > rep.MaxContention {
+			rep.MaxContention = sr.ModuleContention
+		}
+		if sr.Err != nil {
+			rep.Violations = append(rep.Violations, sr.Err)
+		}
+		for _, s := range pending {
+			if s.req.Op == model.OpRead {
+				m.replyCh[s.proc] <- sr.Values[s.proc]
+			} else {
+				m.replyCh[s.proc] <- 0
+			}
+		}
+	}
+	return rep
+}

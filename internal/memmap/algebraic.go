@@ -1,0 +1,63 @@
+package memmap
+
+// The paper's conclusion poses an open problem: replace the nonconstructive
+// (stored-table) memory map with one "that could be constructed by simple
+// computations within a processor", eliminating the O(m·r·log M)-bit
+// look-up table. This file provides such a candidate — an algebraic map
+// computed from (v, j) in O(1) arithmetic — so its expansion quality can be
+// audited against random maps (ablation benchmark AblationAlgebraicMap).
+
+// GenerateAlgebraic returns the map Γ(v, j) = (a_j·v + b_j) mod M where
+// the per-copy coefficients a_j, b_j are derived from the seed by a
+// splitmix64 chain with a_j forced odd (a unit mod any even M, keeping the
+// images of v spread). Copies of one variable land in distinct modules by
+// linear-probe correction, preserving the Map invariant.
+//
+// Unlike Generate, no table is stored conceptually — any processor can
+// recompute Γ(v, j) from the 2r coefficients — although this implementation
+// materializes the values for uniform access by the engine.
+func GenerateAlgebraic(p Params, seed int64) *Map {
+	if err := p.Validate(); err != nil {
+		panic("memmap.GenerateAlgebraic: " + err.Error())
+	}
+	r := p.R()
+	as := make([]uint64, r)
+	bs := make([]uint64, r)
+	x := uint64(seed)
+	for j := 0; j < r; j++ {
+		x = splitmix(x)
+		as[j] = x | 1 // odd multiplier
+		x = splitmix(x)
+		bs[j] = x
+	}
+	mp := &Map{P: p, copies: make([]uint32, p.Mem*r)}
+	M := uint64(p.M)
+	seen := make(map[uint32]bool, r)
+	for v := 0; v < p.Mem; v++ {
+		clear(seen)
+		row := mp.copies[v*r : (v+1)*r]
+		for j := 0; j < r; j++ {
+			mod := uint32((as[j]*uint64(v) + bs[j]) % M)
+			for seen[mod] { // linear probe to restore distinctness
+				mod = uint32((uint64(mod) + 1) % M)
+			}
+			seen[mod] = true
+			row[j] = mod
+		}
+	}
+	return mp
+}
+
+// AlgebraicTableBytes returns the per-processor storage an algebraic map
+// needs: just the 2r 64-bit coefficients, versus BytesPerProcessor() for a
+// stored table — the saving the conclusion is after.
+func AlgebraicTableBytes(p Params) int64 { return int64(p.R()) * 16 }
+
+// splitmix is the splitmix64 step function.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

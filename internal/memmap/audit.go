@@ -1,0 +1,175 @@
+package memmap
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// AuditResult reports the measured expansion of a map: over all probed sets
+// of q live variables (with the adversary choosing which c copies of each
+// are live), the minimum number of distinct modules those live copies
+// occupied, against the Lemma 1/2 bound (2c−1)q/b.
+type AuditResult struct {
+	Q            int     // live-set size probed
+	Trials       int     // number of probe sets
+	MinDistinct  int     // worst distinct-module count observed
+	Bound        float64 // (2c−1)·q/b from the lemma
+	MeanDistinct float64 // average distinct-module count
+	Holds        bool    // MinDistinct >= Bound
+}
+
+// Audit probes the expansion property at live-set size q using `trials`
+// random variable sets, plus one greedily constructed adversarial set. For
+// each probed set the live copies are chosen adversarially: the c copies of
+// each variable residing in the globally most popular modules, which is the
+// concentration a malicious access pattern would exploit.
+func (mp *Map) Audit(q, trials int, seed int64) AuditResult {
+	if q < 1 {
+		panic("memmap.Audit: q must be >= 1")
+	}
+	if max := mp.P.N / mp.R(); q > max && max > 0 {
+		q = max // the lemma only speaks about q ≤ n/(2c−1)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	res := AuditResult{Q: q, Trials: trials, Bound: mp.P.ExpansionBound(q), MinDistinct: mp.P.M + 1}
+	sum := 0
+	probe := func(vars []int) {
+		d := mp.adversarialDistinct(vars)
+		sum += d
+		if d < res.MinDistinct {
+			res.MinDistinct = d
+		}
+	}
+	for t := 0; t < trials; t++ {
+		probe(sampleVars(rng, mp.P.Mem, q))
+	}
+	probe(mp.greedyConcentratedSet(q))
+	res.MeanDistinct = float64(sum) / float64(trials+1)
+	res.Holds = float64(res.MinDistinct) >= res.Bound
+	return res
+}
+
+// adversarialDistinct returns the number of distinct modules covered when,
+// for each variable in vars, the adversary declares live the c copies lying
+// in the most popular modules of the set (minimizing spread).
+func (mp *Map) adversarialDistinct(vars []int) int {
+	pop := make(map[uint32]int)
+	for _, v := range vars {
+		for _, mod := range mp.Copies(v) {
+			pop[mod]++
+		}
+	}
+	c := mp.P.C
+	distinct := make(map[uint32]bool)
+	row := make([]uint32, mp.R())
+	for _, v := range vars {
+		copy(row, mp.Copies(v))
+		// Most popular modules first: those are where copies coincide.
+		sort.Slice(row, func(i, j int) bool {
+			pi, pj := pop[row[i]], pop[row[j]]
+			if pi != pj {
+				return pi > pj
+			}
+			return row[i] < row[j]
+		})
+		for j := 0; j < c; j++ {
+			distinct[row[j]] = true
+		}
+	}
+	return len(distinct)
+}
+
+// greedyConcentratedSet builds a worst-case-flavored live set: starting from
+// the most loaded module, it repeatedly adds the variable whose copies fall
+// most heavily inside the modules already covered. This is the natural
+// greedy adversary against a random map.
+func (mp *Map) greedyConcentratedSet(q int) []int {
+	loads := mp.ModuleLoads()
+	hot := 0
+	for mod, l := range loads {
+		if l > loads[hot] {
+			hot = mod
+		}
+	}
+	covered := map[uint32]bool{uint32(hot): true}
+	used := make(map[int]bool, q)
+	vars := make([]int, 0, q)
+	// Candidate pool: scanning all m variables q times is O(mq); cap the
+	// pool for large maps — the greedy signal saturates quickly.
+	pool := mp.P.Mem
+	if pool > 1<<16 {
+		pool = 1 << 16
+	}
+	for len(vars) < q {
+		bestV, bestScore := -1, -1
+		for v := 0; v < pool; v++ {
+			if used[v] {
+				continue
+			}
+			score := 0
+			for _, mod := range mp.Copies(v) {
+				if covered[mod] {
+					score++
+				}
+			}
+			if score > bestScore {
+				bestScore, bestV = score, v
+			}
+		}
+		used[bestV] = true
+		vars = append(vars, bestV)
+		for _, mod := range mp.Copies(bestV) {
+			covered[mod] = true
+		}
+	}
+	return vars
+}
+
+// sampleVars draws q distinct variables uniformly.
+func sampleVars(rng *rand.Rand, m, q int) []int {
+	if q > m {
+		q = m
+	}
+	seen := make(map[int]bool, q)
+	out := make([]int, 0, q)
+	for len(out) < q {
+		v := rng.Intn(m)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// GenerateCorrupt draws a map that deliberately violates the expansion
+// property by confining all copies to a tiny window of `window` modules.
+// Used by failure-injection tests to show the audits and the quorum
+// protocol's progress accounting actually detect bad maps.
+func GenerateCorrupt(p Params, window int, seed int64) *Map {
+	if window < p.R() {
+		window = p.R()
+	}
+	if window > p.M {
+		window = p.M
+	}
+	rng := rand.New(rand.NewSource(seed))
+	r := p.R()
+	mp := &Map{P: p, copies: make([]uint32, p.Mem*r)}
+	scratch := make(map[uint32]bool, r)
+	for v := 0; v < p.Mem; v++ {
+		clear(scratch)
+		row := mp.copies[v*r : (v+1)*r]
+		for j := 0; j < r; j++ {
+			for {
+				mod := uint32(rng.Intn(window))
+				if !scratch[mod] {
+					scratch[mod] = true
+					row[j] = mod
+					break
+				}
+			}
+		}
+	}
+	return mp
+}

@@ -1,0 +1,29 @@
+package memmap
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadMap: arbitrary bytes must produce an error or a valid map,
+// never a panic or an invariant-violating map.
+func FuzzReadMap(f *testing.F) {
+	p := LemmaTwo(16, 2, 1)
+	var good bytes.Buffer
+	Generate(p, 3).WriteTo(&good)
+	f.Add(good.Bytes())
+	f.Add([]byte("PRAMMAP1 short"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mp, err := ReadMap(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if mp.CheckDistinct() != -1 {
+			t.Fatal("accepted map violates distinctness")
+		}
+		if err := mp.P.Validate(); err != nil {
+			t.Fatalf("accepted map has invalid params: %v", err)
+		}
+	})
+}

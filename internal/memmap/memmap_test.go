@@ -1,0 +1,283 @@
+package memmap
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLemmaTwoConstantRedundancy(t *testing.T) {
+	// The whole point of the paper: with ε > 0 fixed, redundancy must not
+	// grow with n.
+	var rs []int
+	for _, n := range []int{64, 256, 1024, 4096, 16384} {
+		p := LemmaTwo(n, 2.0, 1.0)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		rs = append(rs, p.R())
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i] != rs[0] {
+			t.Fatalf("redundancy varies with n: %v", rs)
+		}
+	}
+	if rs[0] < 3 {
+		t.Errorf("redundancy %d suspiciously low for a 2c-1 scheme", rs[0])
+	}
+}
+
+func TestLemmaTwoSatisfiesInequality(t *testing.T) {
+	for _, tc := range []struct{ k, eps float64 }{
+		{1.5, 0.25}, {2, 0.5}, {2, 1}, {3, 0.5}, {3, 1},
+	} {
+		p := LemmaTwo(1024, tc.k, tc.eps)
+		want := (p.B*tc.k - tc.eps) / (tc.eps * (p.B - 2))
+		if float64(p.C) <= want {
+			t.Errorf("k=%g eps=%g: c=%d does not exceed Lemma 2 threshold %.2f",
+				tc.k, tc.eps, p.C, want)
+		}
+	}
+}
+
+func TestLemmaTwoPanicsOnZeroEps(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("LemmaTwo with eps=0 did not panic")
+		}
+	}()
+	LemmaTwo(64, 2, 0)
+}
+
+func TestLemmaOneLogarithmicRedundancy(t *testing.T) {
+	small := LemmaOne(64, 2)   // m = 4096
+	large := LemmaOne(4096, 2) // m = 16M
+	if large.C <= small.C {
+		t.Errorf("UW87 c should grow with m: c(64)=%d, c(4096)=%d", small.C, large.C)
+	}
+	if small.M != 64 || large.M != 4096 {
+		t.Error("LemmaOne must keep M = n (MPC)")
+	}
+	// c within a constant factor of log_b m.
+	for _, p := range []Params{small, large} {
+		logbm := math.Log(float64(p.Mem)) / math.Log(p.B)
+		if float64(p.C) < logbm || float64(p.C) > 3*logbm+3 {
+			t.Errorf("c=%d out of Θ(log_b m) range (log_b m = %.1f)", p.C, logbm)
+		}
+	}
+}
+
+func TestTheoremThreeSideAndBanks(t *testing.T) {
+	p, side := TheoremThree(256, 2, 2.0)
+	// side ≈ 256^1.5 = 4096, a power of two and > n.
+	if side != 4096 {
+		t.Errorf("side = %d, want 4096", side)
+	}
+	if p.M != side {
+		t.Errorf("effective bank count %d != side %d", p.M, side)
+	}
+	if p.Eps <= 0 {
+		t.Errorf("eps' = %v, want > 0", p.Eps)
+	}
+	// Constant redundancy across n at fixed δ.
+	pBig, _ := TheoremThree(1024, 2, 2.0)
+	if pBig.C != p.C {
+		t.Errorf("c varies with n: %d vs %d", p.C, pBig.C)
+	}
+}
+
+func TestTheoremThreeDeltaOneStaysFineGrain(t *testing.T) {
+	p, side := TheoremThree(256, 2, 1.0)
+	if side <= 256 {
+		t.Errorf("side = %d must exceed n", side)
+	}
+	if p.Eps <= 0 {
+		t.Errorf("eps' = %v, want > 0", p.Eps)
+	}
+}
+
+func TestTheoremThreePanicsBelowDeltaOne(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("TheoremThree(δ<1) did not panic")
+		}
+	}()
+	TheoremThree(64, 2, 0.5)
+}
+
+func TestLemmaTwoWithModulesPanicsOnCoarseGrain(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("LemmaTwoWithModules(M=n) did not panic")
+		}
+	}()
+	LemmaTwoWithModules(64, 2, 64)
+}
+
+func TestParamsDerived(t *testing.T) {
+	p := Params{N: 100, M: 1000, Mem: 10000, K: 2, Eps: 0.5, B: 4, C: 3}
+	if p.R() != 5 {
+		t.Errorf("R = %d, want 5", p.R())
+	}
+	if p.ClusterSize() != 5 {
+		t.Errorf("ClusterSize = %d, want 5", p.ClusterSize())
+	}
+	if p.Clusters() != 20 {
+		t.Errorf("Clusters = %d, want 20", p.Clusters())
+	}
+	if got := p.ExpansionBound(8); math.Abs(got-10) > 1e-12 {
+		t.Errorf("ExpansionBound(8) = %v, want 10", got)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{N: 0, M: 1, Mem: 1, B: 4, C: 1},
+		{N: 1, M: 1, Mem: 1, B: 4, C: 0},
+		{N: 1, M: 2, Mem: 1, B: 4, C: 5},  // r = 9 > M
+		{N: 1, M: 10, Mem: 1, B: 2, C: 1}, // b too small
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %v", i, p)
+		}
+	}
+	good := Params{N: 16, M: 64, Mem: 256, K: 2, Eps: 0.5, B: 4, C: 3}
+	if err := good.Validate(); err != nil {
+		t.Errorf("Validate rejected good params: %v", err)
+	}
+}
+
+func TestGenerateDistinctModules(t *testing.T) {
+	p := LemmaTwo(128, 2, 1)
+	mp := Generate(p, 42)
+	if v := mp.CheckDistinct(); v != -1 {
+		t.Errorf("variable %d has duplicate modules: %v", v, mp.Copies(v))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := LemmaTwo(64, 2, 1)
+	a := Generate(p, 7)
+	b := Generate(p, 7)
+	for v := 0; v < 50; v++ {
+		ca, cb := a.Copies(v), b.Copies(v)
+		for j := range ca {
+			if ca[j] != cb[j] {
+				t.Fatalf("same seed produced different maps at var %d", v)
+			}
+		}
+	}
+	c := Generate(p, 8)
+	same := true
+	for v := 0; v < 50 && same; v++ {
+		ca, cc := a.Copies(v), c.Copies(v)
+		for j := range ca {
+			if ca[j] != cc[j] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical maps (first 50 vars)")
+	}
+}
+
+func TestModuleLoadsBalance(t *testing.T) {
+	p := LemmaTwo(256, 2, 1)
+	mp := Generate(p, 1)
+	loads := mp.ModuleLoads()
+	total := 0
+	maxLoad := 0
+	for _, l := range loads {
+		total += l
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	if total != p.Mem*p.R() {
+		t.Errorf("total copies = %d, want %d", total, p.Mem*p.R())
+	}
+	mean := float64(total) / float64(p.M)
+	if float64(maxLoad) > 4*mean+8 {
+		t.Errorf("max module load %d far above mean %.1f — map unbalanced", maxLoad, mean)
+	}
+}
+
+func TestAuditRandomMapHolds(t *testing.T) {
+	p := LemmaTwo(512, 2, 1)
+	mp := Generate(p, 3)
+	q := p.N / p.R()
+	res := mp.Audit(q, 50, 99)
+	if !res.Holds {
+		t.Errorf("random Lemma-2 map failed expansion audit: min=%d bound=%.1f",
+			res.MinDistinct, res.Bound)
+	}
+	if res.MeanDistinct < float64(res.MinDistinct) {
+		t.Error("mean below min")
+	}
+}
+
+func TestAuditDetectsCorruptMap(t *testing.T) {
+	p := LemmaTwo(512, 2, 1)
+	// All copies squeezed into r modules: expansion capped at r regardless
+	// of q, so any q with bound > r must fail.
+	mp := GenerateCorrupt(p, p.R(), 3)
+	q := p.N / p.R()
+	res := mp.Audit(q, 20, 5)
+	if res.Holds {
+		t.Errorf("audit failed to flag corrupt map: min=%d bound=%.1f",
+			res.MinDistinct, res.Bound)
+	}
+	if res.MinDistinct > p.R() {
+		t.Errorf("corrupt map reports %d distinct modules, window was %d",
+			res.MinDistinct, p.R())
+	}
+}
+
+func TestAuditClampsQ(t *testing.T) {
+	p := LemmaTwo(64, 2, 1)
+	mp := Generate(p, 3)
+	res := mp.Audit(1<<20, 5, 5)
+	if res.Q > p.N/p.R() {
+		t.Errorf("audit q=%d exceeds lemma range n/(2c-1)=%d", res.Q, p.N/p.R())
+	}
+}
+
+func TestBytesPerProcessor(t *testing.T) {
+	p := Params{N: 16, M: 1024, Mem: 1000, K: 2, Eps: 0.5, B: 4, C: 2}
+	mp := Generate(p, 1)
+	// 1000 vars × 3 copies × 10 bits = 30000 bits = 3750 bytes.
+	if got := mp.BytesPerProcessor(); got != 3750 {
+		t.Errorf("BytesPerProcessor = %d, want 3750", got)
+	}
+}
+
+// Property: every generated map keeps copies in range and distinct,
+// for arbitrary small parameter draws.
+func TestGeneratePropertyDistinctInRange(t *testing.T) {
+	f := func(seed int64, nn, cc uint8) bool {
+		n := 8 + int(nn%56)
+		c := 2 + int(cc%3)
+		p := Params{N: n, M: 4 * n, Mem: 2 * n, K: 2, Eps: 1, B: 4, C: c}
+		if p.R() > p.M {
+			return true
+		}
+		mp := Generate(p, seed)
+		if mp.CheckDistinct() != -1 {
+			return false
+		}
+		for v := 0; v < p.Mem; v++ {
+			for _, mod := range mp.Copies(v) {
+				if int(mod) >= p.M {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,193 @@
+// Package memmap implements the replicated memory maps at the heart of the
+// paper: the distribution Γ of 2c−1 copies of each of m shared variables
+// over M memory modules, with the parameter selections of Upfal–Wigderson's
+// Lemma 1 (M = n, c = Θ(log m)) and of the paper's Lemma 2
+// (M = n^(1+ε), constant c > (bk−ε)/(ε(b−2))), plus auditing machinery that
+// measures the expansion property the correctness proofs rest on.
+//
+// The paper's maps are nonconstructive (existence by counting); following
+// the proofs, which show almost every random map is good, this package draws
+// seeded pseudo-random maps and verifies the expansion property empirically
+// (random sampling plus a greedy concentration adversary).
+package memmap
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/xmath"
+)
+
+// Params fixes the dimensions of a replicated memory system.
+type Params struct {
+	N   int // P-RAM processors
+	M   int // memory modules of the simulating machine
+	Mem int // m, number of shared variables
+
+	K   float64 // memory-size exponent: m = n^K
+	Eps float64 // granularity exponent: M = n^(1+Eps); 0 for the MPC
+	B   float64 // expansion slack b (Lemma 1: b > 4, Lemma 2: b > 2)
+	C   int     // quorum parameter: 2c−1 copies, c needed per access
+}
+
+// R returns the redundancy 2c−1, the number of copies per variable.
+func (p Params) R() int { return 2*p.C - 1 }
+
+// ClusterSize returns the processor-cluster size used by the two-stage
+// access protocol, which equals the redundancy 2c−1.
+func (p Params) ClusterSize() int { return p.R() }
+
+// Clusters returns the number of processor clusters, ceil(n/(2c−1)).
+func (p Params) Clusters() int { return xmath.CeilDiv(p.N, p.R()) }
+
+// ExpansionBound returns the module count Lemma 1/2 guarantees for q live
+// variables: (2c−1)·q/b.
+func (p Params) ExpansionBound(q int) float64 {
+	return float64(p.R()) * float64(q) / p.B
+}
+
+// Validate checks internal consistency.
+func (p Params) Validate() error {
+	switch {
+	case p.N <= 0 || p.M <= 0 || p.Mem <= 0:
+		return fmt.Errorf("memmap: dimensions must be positive (n=%d M=%d m=%d)", p.N, p.M, p.Mem)
+	case p.C < 1:
+		return fmt.Errorf("memmap: quorum parameter c=%d < 1", p.C)
+	case p.R() > p.M:
+		return fmt.Errorf("memmap: redundancy 2c-1=%d exceeds module count M=%d", p.R(), p.M)
+	case p.B <= 2:
+		return fmt.Errorf("memmap: expansion slack b=%g must exceed 2", p.B)
+	}
+	return nil
+}
+
+// String summarizes the parameter point.
+func (p Params) String() string {
+	return fmt.Sprintf("n=%d M=%d m=%d k=%.2f eps=%.2f b=%.1f c=%d r=%d",
+		p.N, p.M, p.Mem, p.K, p.Eps, p.B, p.C, p.R())
+}
+
+// LemmaOne returns Upfal–Wigderson '87 parameters for an MPC: M = n modules
+// and c = Θ(log m / log b) with b > 4, so the redundancy 2c−1 grows as
+// Θ(log m). This is the baseline the paper improves on.
+func LemmaOne(n int, k float64) Params {
+	const b = 6.0 // any constant > 4 works; 6 keeps c modest at bench sizes
+	m := memSize(n, k)
+	c := int(math.Ceil(math.Log(float64(m))/math.Log(b))) + 1
+	if c < 2 {
+		c = 2
+	}
+	p := Params{N: n, M: n, Mem: m, K: k, Eps: 0, B: b, C: c}
+	clampRedundancy(&p)
+	return p
+}
+
+// LemmaTwo returns the paper's parameters for a DMMPC with fine-grain
+// memory: M = n^(1+ε) modules and the constant
+// c > (bk−ε)/(ε(b−2)) of Lemma 2 — redundancy independent of n and m.
+func LemmaTwo(n int, k, eps float64) Params {
+	if eps <= 0 {
+		panic("memmap.LemmaTwo: need ε > 0 (ε = 0 is the coarse-grain MPC regime)")
+	}
+	modules := int(math.Ceil(math.Pow(float64(n), 1+eps)))
+	return LemmaTwoWithModules(n, k, modules)
+}
+
+// LemmaTwoWithModules is LemmaTwo for an explicitly chosen module count
+// M > n (so ε = log_n M − 1 > 0). It is how the 2DMOT machine applies the
+// lemma to its √M physical columns.
+func LemmaTwoWithModules(n int, k float64, modules int) Params {
+	if modules <= n {
+		panic("memmap.LemmaTwoWithModules: need M > n for the fine-grain regime")
+	}
+	eps := math.Log(float64(modules))/math.Log(float64(n)) - 1
+	return lemmaTwoAt(n, k, eps, modules)
+}
+
+// lemmaTwoAt applies the Lemma 2 inequality at a given ε with a given
+// physical module count (which may exceed n^(1+ε); extra modules only help
+// expansion).
+func lemmaTwoAt(n int, k, eps float64, modules int) Params {
+	const b = 4.0 // any constant > 2; 4 balances c against the bound slack
+	m := memSize(n, k)
+	cMin := (b*k - eps) / (eps * (b - 2))
+	if alt := (b - 1) / (b - 2); alt > cMin {
+		cMin = alt
+	}
+	c := int(math.Floor(cMin)) + 1
+	if c < 2 {
+		c = 2
+	}
+	p := Params{N: n, M: modules, Mem: m, K: k, Eps: eps, B: b, C: c}
+	clampRedundancy(&p)
+	return p
+}
+
+// TheoremThree returns the parameters for the 2DMOT deployment of Section 3:
+// M = n^(1+δ) modules at the leaves of a √M × √M mesh of trees (δ > 1 so
+// that the grid side is at least n and the n processors fit on the roots).
+// The √M columns act as independent banks, so Lemma 2 applies with module
+// count M' = √M = n^((1+δ)/2); the returned Params carry that effective
+// bank count in M (the physical grid side, rounded up to a power of two).
+func TheoremThree(n int, k, delta float64) (Params, int) {
+	if delta < 1 {
+		panic("memmap.TheoremThree: need δ ≥ 1 so the grid side √M covers the n processors")
+	}
+	side := ceilPow2(int(math.Ceil(math.Pow(float64(n), (1+delta)/2))))
+	if side <= n {
+		side = ceilPow2(n + 1) // δ = 1 exactly: nudge into the ε' > 0 regime
+	}
+	// The quorum constant comes from the NOMINAL bank exponent
+	// ε' = (δ−1)/2, so it is the same at every n (the paper's r = Θ(1));
+	// rounding side up to a power of two only adds banks, which helps.
+	epsNominal := (delta - 1) / 2
+	if epsNominal <= 0 {
+		return LemmaTwoWithModules(n, k, side), side
+	}
+	return lemmaTwoAt(n, k, epsNominal, side), side
+}
+
+// TheoremThreeDual applies the closing remark of Theorem 3's proof: by
+// accessing simultaneously along rows AND columns, both the a rows and the
+// a columns of the grid serve as independent banks — 2·side in total —
+// "which further reduces the redundancy by a factor of 2, as can be shown
+// by a modification of Lemma 2". The quorum constant is halved (floored at
+// the lemma's minimum of 2) and the bank space doubled.
+func TheoremThreeDual(n int, k, delta float64) (Params, int) {
+	p, side := TheoremThree(n, k, delta)
+	p.M = 2 * side
+	c := (p.C + 1) / 2
+	if c < 2 {
+		c = 2
+	}
+	p.C = c
+	clampRedundancy(&p)
+	return p, side
+}
+
+// ceilPow2 rounds up to a power of two (local copy to keep the dependency
+// graph flat).
+func ceilPow2(x int) int {
+	p := 1
+	for p < x {
+		p <<= 1
+	}
+	return p
+}
+
+// memSize returns m = n^k rounded to at least n.
+func memSize(n int, k float64) int {
+	m := int(math.Ceil(math.Pow(float64(n), k)))
+	if m < n {
+		m = n
+	}
+	return m
+}
+
+// clampRedundancy caps r at M (only reachable at toy sizes) preserving the
+// invariant 2c−1 ≤ M that distinct-module placement needs.
+func clampRedundancy(p *Params) {
+	for p.R() > p.M && p.C > 1 {
+		p.C--
+	}
+}

@@ -1,0 +1,107 @@
+package memmap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Serialization of memory maps. The paper's conclusion measures the map's
+// storage cost in bits (the O(m·r·log M) table each processor must hold);
+// this file makes that table a concrete artifact that can be written,
+// shipped and reloaded — what a deployment of the scheme would distribute
+// to its processors at boot.
+
+// magic identifies the file format; bump the version on layout changes.
+var magic = [8]byte{'P', 'R', 'A', 'M', 'M', 'A', 'P', '1'}
+
+// WriteTo serializes the map (header: params; body: m×r little-endian
+// uint32 module ids). It returns the number of bytes written.
+func (mp *Map) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	put := func(v uint64) error {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		k, err := bw.Write(buf[:])
+		n += int64(k)
+		return err
+	}
+	if k, err := bw.Write(magic[:]); err != nil {
+		return n + int64(k), err
+	}
+	n += int64(len(magic))
+	p := mp.P
+	for _, v := range []uint64{
+		uint64(p.N), uint64(p.M), uint64(p.Mem), uint64(p.C),
+		math.Float64bits(p.K), math.Float64bits(p.Eps), math.Float64bits(p.B),
+	} {
+		if err := put(v); err != nil {
+			return n, err
+		}
+	}
+	var buf [4]byte
+	for _, mod := range mp.copies {
+		binary.LittleEndian.PutUint32(buf[:], mod)
+		k, err := bw.Write(buf[:])
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadMap deserializes a map written by WriteTo, validating the header and
+// the distinct-modules invariant.
+func ReadMap(r io.Reader) (*Map, error) {
+	br := bufio.NewReader(r)
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("memmap: reading magic: %w", err)
+	}
+	if got != magic {
+		return nil, fmt.Errorf("memmap: bad magic %q", got[:])
+	}
+	get := func() (uint64, error) {
+		var buf [8]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(buf[:]), nil
+	}
+	var raw [7]uint64
+	for i := range raw {
+		v, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("memmap: reading header: %w", err)
+		}
+		raw[i] = v
+	}
+	p := Params{
+		N: int(raw[0]), M: int(raw[1]), Mem: int(raw[2]), C: int(raw[3]),
+		K: math.Float64frombits(raw[4]), Eps: math.Float64frombits(raw[5]),
+		B: math.Float64frombits(raw[6]),
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("memmap: invalid header: %w", err)
+	}
+	mp := &Map{P: p, copies: make([]uint32, p.Mem*p.R())}
+	var buf [4]byte
+	for i := range mp.copies {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("memmap: reading body at entry %d: %w", i, err)
+		}
+		mod := binary.LittleEndian.Uint32(buf[:])
+		if int(mod) >= p.M {
+			return nil, fmt.Errorf("memmap: entry %d names module %d ≥ M=%d", i, mod, p.M)
+		}
+		mp.copies[i] = mod
+	}
+	if v := mp.CheckDistinct(); v != -1 {
+		return nil, fmt.Errorf("memmap: variable %d has duplicate modules", v)
+	}
+	return mp, nil
+}

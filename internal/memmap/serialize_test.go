@@ -1,0 +1,95 @@
+package memmap
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSerializeRoundtrip(t *testing.T) {
+	p := LemmaTwo(64, 2, 1)
+	orig := Generate(p, 17)
+	var buf bytes.Buffer
+	n, err := orig.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadMap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.P != orig.P {
+		t.Errorf("params differ: %+v vs %+v", got.P, orig.P)
+	}
+	for v := 0; v < p.Mem; v += 53 {
+		a, b := orig.Copies(v), got.Copies(v)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("var %d copy %d differs", v, j)
+			}
+		}
+	}
+}
+
+func TestSerializeSizeMatchesTableEstimate(t *testing.T) {
+	p := LemmaTwo(64, 2, 1)
+	mp := Generate(p, 1)
+	var buf bytes.Buffer
+	mp.WriteTo(&buf)
+	// Body: m·r×4 bytes; header: 8 magic + 7×8.
+	want := p.Mem*p.R()*4 + 8 + 56
+	if buf.Len() != want {
+		t.Errorf("file size %d, want %d", buf.Len(), want)
+	}
+}
+
+func TestReadMapRejectsBadMagic(t *testing.T) {
+	if _, err := ReadMap(strings.NewReader("NOTAMAP0 garbage")); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestReadMapRejectsTruncated(t *testing.T) {
+	p := LemmaTwo(16, 2, 1)
+	mp := Generate(p, 3)
+	var buf bytes.Buffer
+	mp.WriteTo(&buf)
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadMap(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated file accepted")
+	}
+}
+
+func TestReadMapRejectsOutOfRangeModule(t *testing.T) {
+	p := LemmaTwo(16, 2, 1)
+	mp := Generate(p, 3)
+	var buf bytes.Buffer
+	mp.WriteTo(&buf)
+	data := buf.Bytes()
+	// Corrupt the first body entry to an impossible module id.
+	off := 8 + 56
+	data[off] = 0xff
+	data[off+1] = 0xff
+	data[off+2] = 0xff
+	data[off+3] = 0x7f
+	if _, err := ReadMap(bytes.NewReader(data)); err == nil {
+		t.Error("out-of-range module accepted")
+	}
+}
+
+func TestReadMapRejectsDuplicateModules(t *testing.T) {
+	p := LemmaTwo(16, 2, 1)
+	mp := Generate(p, 3)
+	var buf bytes.Buffer
+	mp.WriteTo(&buf)
+	data := buf.Bytes()
+	// Make copy 1 of variable 0 identical to copy 0.
+	off := 8 + 56
+	copy(data[off+4:off+8], data[off:off+4])
+	if _, err := ReadMap(bytes.NewReader(data)); err == nil {
+		t.Error("duplicate-module map accepted")
+	}
+}

@@ -1,0 +1,240 @@
+package model
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{OpNone: "none", OpRead: "read", OpWrite: "write", Op(9): "op(9)"}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	cases := map[Mode]string{
+		EREW: "EREW", CREW: "CREW", CRCWPriority: "CRCW-priority",
+		CRCWCommon: "CRCW-common", CRCWArbitrary: "CRCW-arbitrary", Mode(99): "mode(99)",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("Mode(%d).String() = %q, want %q", m, got, want)
+		}
+	}
+}
+
+func TestNewBatchIdle(t *testing.T) {
+	b := NewBatch(5)
+	if len(b) != 5 {
+		t.Fatalf("len = %d, want 5", len(b))
+	}
+	for i, r := range b {
+		if r.Proc != i || r.Op != OpNone {
+			t.Errorf("entry %d = %+v, want idle proc %d", i, r, i)
+		}
+	}
+	if b.Active() != 0 || b.Reads() != 0 || b.Writes() != 0 {
+		t.Errorf("idle batch reports activity: %d/%d/%d", b.Active(), b.Reads(), b.Writes())
+	}
+}
+
+func TestBatchCounts(t *testing.T) {
+	b := Batch{
+		{Proc: 0, Op: OpRead, Addr: 1},
+		{Proc: 1, Op: OpWrite, Addr: 2, Value: 7},
+		{Proc: 2, Op: OpNone},
+		{Proc: 3, Op: OpRead, Addr: 3},
+	}
+	if b.Reads() != 2 || b.Writes() != 1 || b.Active() != 3 {
+		t.Errorf("counts = %d/%d/%d, want 2/1/3", b.Reads(), b.Writes(), b.Active())
+	}
+}
+
+func TestResolveStepReadsSeePreState(t *testing.T) {
+	mem := SliceStore{10, 20, 30}
+	b := Batch{
+		{Proc: 0, Op: OpRead, Addr: 1},
+		{Proc: 1, Op: OpWrite, Addr: 1, Value: 99},
+	}
+	vals, err := ResolveStep(mem, b, CRCWPriority)
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if vals[0] != 20 {
+		t.Errorf("read saw %d, want pre-step value 20", vals[0])
+	}
+	if mem[1] != 99 {
+		t.Errorf("write did not commit: cell = %d", mem[1])
+	}
+}
+
+func TestResolveStepPriorityWrite(t *testing.T) {
+	mem := SliceStore{0}
+	b := Batch{
+		{Proc: 3, Op: OpWrite, Addr: 0, Value: 3},
+		{Proc: 1, Op: OpWrite, Addr: 0, Value: 1},
+		{Proc: 2, Op: OpWrite, Addr: 0, Value: 2},
+	}
+	if _, err := ResolveStep(mem, b, CRCWPriority); err != nil {
+		t.Fatalf("priority mode must accept concurrent writes: %v", err)
+	}
+	if mem[0] != 1 {
+		t.Errorf("priority write committed %d, want 1 (lowest proc id)", mem[0])
+	}
+}
+
+func TestResolveStepArbitraryWrite(t *testing.T) {
+	mem := SliceStore{0}
+	b := Batch{
+		{Proc: 1, Op: OpWrite, Addr: 0, Value: 1},
+		{Proc: 5, Op: OpWrite, Addr: 0, Value: 5},
+		{Proc: 3, Op: OpWrite, Addr: 0, Value: 3},
+	}
+	if _, err := ResolveStep(mem, b, CRCWArbitrary); err != nil {
+		t.Fatalf("arbitrary mode must accept concurrent writes: %v", err)
+	}
+	if mem[0] != 5 {
+		t.Errorf("arbitrary write committed %d, want 5 (highest proc id convention)", mem[0])
+	}
+}
+
+func TestResolveStepCommonWrite(t *testing.T) {
+	mem := SliceStore{0}
+	agree := Batch{
+		{Proc: 0, Op: OpWrite, Addr: 0, Value: 7},
+		{Proc: 1, Op: OpWrite, Addr: 0, Value: 7},
+	}
+	if _, err := ResolveStep(mem, agree, CRCWCommon); err != nil {
+		t.Fatalf("agreeing common write flagged: %v", err)
+	}
+	disagree := Batch{
+		{Proc: 0, Op: OpWrite, Addr: 0, Value: 7},
+		{Proc: 1, Op: OpWrite, Addr: 0, Value: 8},
+	}
+	_, err := ResolveStep(mem, disagree, CRCWCommon)
+	var ce *ConflictError
+	if !errors.As(err, &ce) {
+		t.Fatalf("disagreeing common write not flagged, err = %v", err)
+	}
+	if ce.Kind != "disagreeing common write" {
+		t.Errorf("kind = %q", ce.Kind)
+	}
+}
+
+func TestCheckConflictsEREW(t *testing.T) {
+	// Two readers of the same cell violate EREW but not CREW.
+	b := Batch{
+		{Proc: 0, Op: OpRead, Addr: 4},
+		{Proc: 2, Op: OpRead, Addr: 4},
+	}
+	if err := CheckConflicts(b, EREW); err == nil {
+		t.Error("EREW concurrent read not detected")
+	}
+	if err := CheckConflicts(b, CREW); err != nil {
+		t.Errorf("CREW rejected concurrent read: %v", err)
+	}
+}
+
+func TestCheckConflictsCREW(t *testing.T) {
+	rw := Batch{
+		{Proc: 0, Op: OpRead, Addr: 4},
+		{Proc: 1, Op: OpWrite, Addr: 4, Value: 1},
+	}
+	if err := CheckConflicts(rw, CREW); err == nil {
+		t.Error("CREW read/write collision not detected")
+	}
+	ww := Batch{
+		{Proc: 0, Op: OpWrite, Addr: 4, Value: 1},
+		{Proc: 1, Op: OpWrite, Addr: 4, Value: 1},
+	}
+	if err := CheckConflicts(ww, CREW); err == nil {
+		t.Error("CREW concurrent write not detected")
+	}
+	if err := CheckConflicts(ww, CRCWPriority); err != nil {
+		t.Errorf("CRCW rejected concurrent write: %v", err)
+	}
+}
+
+func TestCheckConflictsDisjointLegalEverywhere(t *testing.T) {
+	b := Batch{
+		{Proc: 0, Op: OpRead, Addr: 0},
+		{Proc: 1, Op: OpWrite, Addr: 1, Value: 1},
+		{Proc: 2, Op: OpRead, Addr: 2},
+	}
+	for _, m := range []Mode{EREW, CREW, CRCWPriority, CRCWCommon, CRCWArbitrary} {
+		if err := CheckConflicts(b, m); err != nil {
+			t.Errorf("%v rejected disjoint batch: %v", m, err)
+		}
+	}
+}
+
+func TestConflictErrorMessage(t *testing.T) {
+	e := &ConflictError{Mode: EREW, Addr: 7, Procs: []int{1, 2}, Kind: "concurrent access"}
+	want := "EREW violation: concurrent access of cell 7 by processors [1 2]"
+	if e.Error() != want {
+		t.Errorf("Error() = %q, want %q", e.Error(), want)
+	}
+}
+
+// Property: under CRCW-Priority, ResolveStep is equivalent to a slow-motion
+// reference implementation (reads of pre-state, then writes in ascending
+// processor order with first-writer-wins).
+func TestResolveStepMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const m, n = 16, 12
+		mem := make(SliceStore, m)
+		ref := make([]Word, m)
+		for i := range mem {
+			v := Word(rng.Intn(100))
+			mem[i], ref[i] = v, v
+		}
+		batch := NewBatch(n)
+		for i := range batch {
+			switch rng.Intn(3) {
+			case 0:
+				batch[i] = Request{Proc: i, Op: OpRead, Addr: rng.Intn(m)}
+			case 1:
+				batch[i] = Request{Proc: i, Op: OpWrite, Addr: rng.Intn(m), Value: Word(rng.Intn(1000))}
+			}
+		}
+		// Reference: reads of pre-state.
+		wantVals := map[int]Word{}
+		for _, r := range batch {
+			if r.Op == OpRead {
+				wantVals[r.Proc] = ref[r.Addr]
+			}
+		}
+		written := map[Addr]bool{}
+		for i := 0; i < n; i++ { // ascending proc id, first writer wins
+			r := batch[i]
+			if r.Op == OpWrite && !written[r.Addr] {
+				ref[r.Addr] = r.Value
+				written[r.Addr] = true
+			}
+		}
+		gotVals, _ := ResolveStep(mem, batch, CRCWPriority)
+		if len(gotVals) != len(wantVals) {
+			return false
+		}
+		for p, v := range wantVals {
+			if gotVals[p] != v {
+				return false
+			}
+		}
+		for a := range ref {
+			if mem[a] != ref[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,133 @@
+package model
+
+import "sort"
+
+// Store is the minimal mutable-memory interface the semantic resolver needs.
+type Store interface {
+	Get(a Addr) Word
+	Set(a Addr, v Word)
+}
+
+// SliceStore is a Store backed by a flat slice, the common case.
+type SliceStore []Word
+
+// Get returns the word at address a.
+func (s SliceStore) Get(a Addr) Word { return s[a] }
+
+// Set stores v at address a.
+func (s SliceStore) Set(a Addr, v Word) { s[a] = v }
+
+// ResolveStep computes the semantic outcome of one P-RAM step against store:
+// every read receives the pre-step value of its cell, and writes are
+// committed afterwards under the given conflict Mode. It returns the read
+// values and the first conflict-discipline violation detected (nil if the
+// batch is legal under mode). Execution always proceeds; violations are
+// resolved by Priority rules so that simulation can continue and tests can
+// observe the error.
+//
+// Centralizing this logic guarantees that every backend — however exotic its
+// cost model — agrees exactly on memory semantics, which is the correctness
+// invariant the property tests check.
+func ResolveStep(store Store, batch Batch, mode Mode) (map[int]Word, error) {
+	values := make(map[int]Word, batch.Reads())
+	// Reads observe pre-step state.
+	for _, r := range batch {
+		if r.Op == OpRead {
+			values[r.Proc] = store.Get(r.Addr)
+		}
+	}
+	err := CheckConflicts(batch, mode)
+	// Commit writes. Iterating in ascending processor id and letting the
+	// FIRST writer win implements Priority; Arbitrary keeps the last.
+	type pw struct {
+		proc int
+		val  Word
+	}
+	writers := make(map[Addr]pw)
+	for _, r := range batch {
+		if r.Op != OpWrite {
+			continue
+		}
+		prev, seen := writers[r.Addr]
+		switch {
+		case !seen:
+			writers[r.Addr] = pw{r.Proc, r.Value}
+		case mode == CRCWArbitrary:
+			if r.Proc > prev.proc {
+				writers[r.Addr] = pw{r.Proc, r.Value}
+			}
+		default: // Priority semantics: lowest id wins.
+			if r.Proc < prev.proc {
+				writers[r.Addr] = pw{r.Proc, r.Value}
+			}
+		}
+	}
+	for a, w := range writers {
+		store.Set(a, w.val)
+	}
+	return values, err
+}
+
+// CheckConflicts validates batch against the conflict discipline of mode and
+// returns a *ConflictError describing the first violation found (scanning
+// addresses in ascending order for determinism), or nil.
+func CheckConflicts(batch Batch, mode Mode) error {
+	type touch struct {
+		readers []int
+		writers []int
+		vals    []Word
+	}
+	byAddr := make(map[Addr]*touch)
+	for _, r := range batch {
+		if r.Op == OpNone {
+			continue
+		}
+		t := byAddr[r.Addr]
+		if t == nil {
+			t = &touch{}
+			byAddr[r.Addr] = t
+		}
+		if r.Op == OpRead {
+			t.readers = append(t.readers, r.Proc)
+		} else {
+			t.writers = append(t.writers, r.Proc)
+			t.vals = append(t.vals, r.Value)
+		}
+	}
+	addrs := make([]Addr, 0, len(byAddr))
+	for a := range byAddr {
+		addrs = append(addrs, a)
+	}
+	sort.Ints(addrs)
+	for _, a := range addrs {
+		t := byAddr[a]
+		sort.Ints(t.readers)
+		sort.Ints(t.writers)
+		switch mode {
+		case EREW:
+			if len(t.readers)+len(t.writers) > 1 {
+				procs := append(append([]int{}, t.readers...), t.writers...)
+				sort.Ints(procs)
+				return &ConflictError{Mode: mode, Addr: a, Procs: procs, Kind: "concurrent access"}
+			}
+		case CREW:
+			if len(t.writers) > 1 {
+				return &ConflictError{Mode: mode, Addr: a, Procs: t.writers, Kind: "concurrent write"}
+			}
+			if len(t.writers) == 1 && len(t.readers) > 0 {
+				procs := append(append([]int{}, t.readers...), t.writers...)
+				sort.Ints(procs)
+				return &ConflictError{Mode: mode, Addr: a, Procs: procs, Kind: "read/write collision"}
+			}
+		case CRCWCommon:
+			for i := 1; i < len(t.vals); i++ {
+				if t.vals[i] != t.vals[0] {
+					return &ConflictError{Mode: mode, Addr: a, Procs: t.writers, Kind: "disagreeing common write"}
+				}
+			}
+		case CRCWPriority, CRCWArbitrary:
+			// Always legal.
+		}
+	}
+	return nil
+}

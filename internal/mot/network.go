@@ -1,0 +1,238 @@
+package mot
+
+import (
+	"sort"
+
+	"repro/internal/quorum"
+)
+
+// Policy selects the contention rule for request packets on tree edges.
+type Policy uint8
+
+const (
+	// DropOnCollision refuses the lower-priority packet at an edge
+	// conflict; the quorum engine retries it next phase. This is the
+	// paper's routing rule and the default.
+	DropOnCollision Policy = iota
+	// QueueOnCollision makes the loser wait a cycle instead (pure
+	// store-and-forward). Useful as an ablation: it trades phases for
+	// longer ones.
+	QueueOnCollision
+)
+
+// Config tunes the network simulation.
+type Config struct {
+	// ModuleCapacity is the number of requests a module can serve per
+	// cycle (default 1). Requests beyond it queue at the module leaf —
+	// the stage-2 pipelining of the simulation scheme.
+	ModuleCapacity int
+	// Policy is the tree-edge contention rule for request legs.
+	Policy Policy
+	// RowOf places copy `cp` of variable `v` on a grid row (needed for
+	// ModulesAtLeaves; ignored for ModulesAtRoots). The memory map already
+	// fixes the bank/column of every copy; the row spreads copies within
+	// the bank. Must be deterministic.
+	RowOf func(v, cp int) int
+	// DualRail enables the row+column access of Theorem 3's remark: bank
+	// ids in [0, side) are column banks (routed via the column tree), ids
+	// in [side, 2·side) are ROW banks (routed via requestPathRowRail),
+	// doubling the number of independent serialization points.
+	DualRail bool
+}
+
+// Stats accumulates network-level counters across phases.
+type Stats struct {
+	Cycles     int64 // total simulated cycles
+	Hops       int64 // edge traversals
+	Collisions int64 // request packets refused at a tree edge
+	Served     int64 // module services completed
+	MaxQueue   int   // deepest module backlog observed in any cycle
+}
+
+// Network is a 2DMOT with a synchronous packet switch fabric. It implements
+// quorum.Interconnect, so it slots into the quorum engine exactly where the
+// complete bipartite graph of the DMMPC does — same protocol, real network.
+type Network struct {
+	topo Topology
+	cfg  Config
+
+	clock    int64            // global cycle counter, never reset
+	edgeUsed map[uint64]int64 // directed edge -> last cycle it carried a packet
+	stats    Stats
+}
+
+// NewNetwork builds a 2DMOT network simulator over an a×a grid.
+func NewNetwork(side int, pl Placement, cfg Config) *Network {
+	if cfg.ModuleCapacity <= 0 {
+		cfg.ModuleCapacity = 1
+	}
+	if pl == ModulesAtLeaves && cfg.RowOf == nil {
+		cfg.RowOf = func(v, cp int) int { return int(mix64(uint64(v)*31+uint64(cp))) & (side - 1) }
+	}
+	return &Network{
+		topo:     NewTopology(side, pl),
+		cfg:      cfg,
+		edgeUsed: make(map[uint64]int64),
+	}
+}
+
+// Topology returns the network's shape.
+func (nw *Network) Topology() Topology { return nw.topo }
+
+// TimeInCycles marks the network's phase durations as physical cycles
+// (quorum.CycleTimed).
+func (nw *Network) TimeInCycles() bool { return true }
+
+// SetBandwidth implements quorum.BandwidthSetter: it retunes the module
+// service rate per cycle, the knob the two-stage schedule's pipelined
+// stage 2 turns up to O(log n).
+func (nw *Network) SetBandwidth(perPhase int) {
+	if perPhase < 1 {
+		perPhase = 1
+	}
+	nw.cfg.ModuleCapacity = perPhase
+}
+
+// Stats returns accumulated counters.
+func (nw *Network) Stats() Stats { return nw.stats }
+
+// packet is one in-flight copy access.
+type packet struct {
+	attempt int // index into the phase's attempt slice
+	prio    int // processor id: lower wins collisions
+	path    []uint64
+	pos     int // next edge index
+	service int // path index at which the module serves the packet
+	served  bool
+	module  int // module key for service accounting
+	done    bool
+	failed  bool
+}
+
+// RoutePhase implements quorum.Interconnect. Each attempt becomes a packet
+// injected at its processor's root on cycle one of the phase; the phase
+// lasts until every packet has either returned (granted) or collided
+// (refused). The phase cost is the makespan in cycles.
+func (nw *Network) RoutePhase(attempts []quorum.Attempt) ([]bool, int64, int) {
+	granted := make([]bool, len(attempts))
+	if len(attempts) == 0 {
+		return granted, 0, 0
+	}
+	side := nw.topo.Side
+	pkts := make([]*packet, 0, len(attempts))
+	loads := make(map[int]int)
+	for i, a := range attempts {
+		var row, col int
+		rowRail := false
+		if nw.topo.Placement == ModulesAtLeaves {
+			// Attempt.Module is the bank chosen by the memory map; with
+			// DualRail, banks ≥ side are row banks. The free coordinate
+			// spreads copies within the bank.
+			if nw.cfg.DualRail && a.Module >= side {
+				rowRail = true
+				row = a.Module & (side - 1)
+				col = nw.cfg.RowOf(a.Var, a.Copy) & (side - 1)
+			} else {
+				col = a.Module & (side - 1)
+				row = nw.cfg.RowOf(a.Var, a.Copy) & (side - 1)
+			}
+		} else {
+			col = a.Module & (side - 1)
+			row = 0
+		}
+		if a.Proc >= side {
+			panic("mot: processor id exceeds root count")
+		}
+		mod := row*side + col
+		loads[mod]++
+		path := nw.topo.requestPath(a.Proc, row, col)
+		if rowRail {
+			path = nw.topo.requestPathRowRail(a.Proc, row, col)
+		}
+		pkts = append(pkts, &packet{
+			attempt: i,
+			prio:    a.Proc,
+			path:    path,
+			service: nw.topo.servicePos(),
+			module:  mod,
+		})
+	}
+	maxLoad := 0
+	for _, l := range loads {
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	// Deterministic processing order: by priority, then attempt index.
+	sort.Slice(pkts, func(x, y int) bool {
+		if pkts[x].prio != pkts[y].prio {
+			return pkts[x].prio < pkts[y].prio
+		}
+		return pkts[x].attempt < pkts[y].attempt
+	})
+
+	start := nw.clock
+	servedThisCycle := make(map[int]int)
+	remaining := len(pkts)
+	for remaining > 0 {
+		nw.clock++
+		cycle := nw.clock
+		clear(servedThisCycle)
+		queued := 0
+		for _, pk := range pkts {
+			if pk.done || pk.failed {
+				continue
+			}
+			// Module service point.
+			if pk.pos == pk.service && !pk.served {
+				if servedThisCycle[pk.module] < nw.cfg.ModuleCapacity {
+					servedThisCycle[pk.module]++
+					pk.served = true
+					nw.stats.Served++
+				} else {
+					queued++ // wait at the module leaf (stage-2 queue)
+				}
+				continue
+			}
+			// Edge traversal.
+			e := pk.path[pk.pos]
+			if last, busy := nw.edgeUsed[e]; busy && last == cycle {
+				// Collision: someone higher-priority took this edge now.
+				if nw.cfg.Policy == DropOnCollision && !pk.served {
+					pk.failed = true
+					remaining--
+					nw.stats.Collisions++
+				}
+				// Replies (and Queue policy) wait for the next cycle.
+				continue
+			}
+			nw.edgeUsed[e] = cycle
+			nw.stats.Hops++
+			pk.pos++
+			if pk.pos == len(pk.path) {
+				pk.done = true
+				remaining--
+			}
+		}
+		if queued > nw.stats.MaxQueue {
+			nw.stats.MaxQueue = queued
+		}
+	}
+	for _, pk := range pkts {
+		if pk.done {
+			granted[pk.attempt] = true
+		}
+	}
+	elapsed := nw.clock - start
+	nw.stats.Cycles += elapsed
+	return granted, elapsed, maxLoad
+}
+
+// mix64 is splitmix64's finalizer: a cheap, deterministic hash used to
+// scatter copy rows within a bank.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,179 @@
+// Package mot implements the two-dimensional mesh of trees (2DMOT, the
+// "orthogonal trees" of Nath, Maheshwari & Bhatt 1983): an a×a grid of
+// leaves where row i's leaves form the fringe of a complete binary row tree
+// RT(i) and column j's leaves form the fringe of a column tree CT(j), with
+// processors at the coalesced tree roots.
+//
+// The package provides a synchronous, hop-per-cycle packet simulation of
+// the network and implements quorum.Interconnect: a protocol phase is
+// realized by injecting one packet per attempting processor, routing it
+// down its row tree, up and down the target column tree to the memory
+// module, and back. Conflicting packets that meet on a tree edge collide —
+// the lower-priority one is refused for this phase and retried by the
+// engine, the rule Theorem 3's routing uses ("provided it does not collide
+// with a conflicting request"); replies and module queues use FIFO waiting,
+// which is the stage-2 pipelining of Luccio et al. (1990).
+package mot
+
+import (
+	"fmt"
+
+	"repro/internal/xmath"
+)
+
+// Placement selects where the memory modules sit.
+type Placement uint8
+
+const (
+	// ModulesAtLeaves is the paper's Section 3 deployment (Fig. 8): M = a²
+	// modules, one per grid leaf, addressed by bank (column) and row. This
+	// is what makes the √M columns act as independent banks and enables
+	// constant redundancy.
+	ModulesAtLeaves Placement = iota
+	// ModulesAtRoots is the Luccio et al. (1990) deployment: n modules,
+	// one per root processor, with the grid acting purely as a switching
+	// fabric. Granularity stays m/n, so redundancy stays Θ(log n).
+	ModulesAtRoots
+)
+
+// String implements fmt.Stringer.
+func (p Placement) String() string {
+	if p == ModulesAtRoots {
+		return "modules-at-roots"
+	}
+	return "modules-at-leaves"
+}
+
+// Directed tree-edge encoding: every edge of every tree is identified by
+// its child endpoint (level ∈ [1,d], position ∈ [0, 2^level)) plus the tree
+// kind (row/column), tree index, and direction of travel.
+const (
+	kindRow = 0
+	kindCol = 1
+	dirDown = 0 // toward the leaves
+	dirUp   = 1 // toward the root
+)
+
+// edgeID packs a directed tree edge into a map key.
+func edgeID(kind, dir, tree, childLevel, childPos int) uint64 {
+	return uint64(kind)<<63 | uint64(dir)<<62 |
+		uint64(tree)<<40 | uint64(childLevel)<<34 | uint64(childPos)
+}
+
+// Topology captures the static shape of an a×a 2DMOT.
+type Topology struct {
+	Side      int // a: leaves per tree; must be a power of two
+	Depth     int // d = log2(a)
+	Placement Placement
+}
+
+// NewTopology validates and returns an a×a 2DMOT shape.
+func NewTopology(side int, pl Placement) Topology {
+	if !xmath.IsPow2(side) {
+		panic(fmt.Sprintf("mot: side %d must be a power of two", side))
+	}
+	return Topology{Side: side, Depth: xmath.ILog2(side), Placement: pl}
+}
+
+// Nodes returns the total node count: a² leaves plus 2a(a−1) internal tree
+// nodes (the O(M) "dummy processors, mere switches" of the DMBDN model).
+func (t Topology) Nodes() int {
+	a := t.Side
+	return a*a + 2*a*(a-1)
+}
+
+// Switches returns only the non-leaf switching nodes.
+func (t Topology) Switches() int { return 2 * t.Side * (t.Side - 1) }
+
+// requestPath returns the forward path of a request from processor root
+// `proc` to the module, and the index at which module service happens
+// (== len(forward)); the reply path is appended after it.
+//
+// ModulesAtLeaves — module (row i, column j):
+//
+//	root(RT proc) ⇓ leaf(proc,j) ⇑ root(CT j) ⇓ leaf(i,j) [serve] and back.
+//
+// ModulesAtRoots — module at root i:
+//
+//	root(RT proc) ⇓ leaf(proc,i) ⇑ root(CT i) [serve] and back.
+func (t Topology) requestPath(proc, row, col int) []uint64 {
+	d := t.Depth
+	path := make([]uint64, 0, 6*d)
+	// Down row tree `proc` to leaf column `col`.
+	for l := 1; l <= d; l++ {
+		path = append(path, edgeID(kindRow, dirDown, proc, l, col>>(d-l)))
+	}
+	// Up column tree `col` from leaf position `proc` to its root.
+	for l := d; l >= 1; l-- {
+		path = append(path, edgeID(kindCol, dirUp, col, l, proc>>(d-l)))
+	}
+	if t.Placement == ModulesAtLeaves {
+		// Down column tree `col` to leaf row `row`.
+		for l := 1; l <= d; l++ {
+			path = append(path, edgeID(kindCol, dirDown, col, l, row>>(d-l)))
+		}
+	}
+	// --- service point: len(path) ---
+	// Reply: exact reverse.
+	if t.Placement == ModulesAtLeaves {
+		for l := d; l >= 1; l-- {
+			path = append(path, edgeID(kindCol, dirUp, col, l, row>>(d-l)))
+		}
+	}
+	for l := 1; l <= d; l++ {
+		path = append(path, edgeID(kindCol, dirDown, col, l, proc>>(d-l)))
+	}
+	for l := d; l >= 1; l-- {
+		path = append(path, edgeID(kindRow, dirUp, proc, l, col>>(d-l)))
+	}
+	return path
+}
+
+// servicePos returns the index within a requestPath at which the packet is
+// served by the module.
+func (t Topology) servicePos() int {
+	if t.Placement == ModulesAtLeaves {
+		return 3 * t.Depth
+	}
+	return 2 * t.Depth
+}
+
+// requestPathRowRail returns the dual-rail alternative path of Theorem 3's
+// closing remark ("we can simultaneously access along both rows and
+// columns"): the final delivery to module (row, col) rides ROW tree `row`
+// instead of column tree `col`, making the a rows a second, independent
+// set of banks:
+//
+//	root(RT proc) ⇓ leaf(proc,row) ⇑ root(CT row)=root(RT row)
+//	⇓ leaf(row,col) [serve] and back.
+//
+// Same 6d length and the same 3d service position as the column rail.
+// Only meaningful for ModulesAtLeaves.
+func (t Topology) requestPathRowRail(proc, row, col int) []uint64 {
+	d := t.Depth
+	path := make([]uint64, 0, 6*d)
+	// Down row tree `proc` to leaf column `row`.
+	for l := 1; l <= d; l++ {
+		path = append(path, edgeID(kindRow, dirDown, proc, l, row>>(d-l)))
+	}
+	// Up column tree `row` from leaf position `proc` to the coalesced root.
+	for l := d; l >= 1; l-- {
+		path = append(path, edgeID(kindCol, dirUp, row, l, proc>>(d-l)))
+	}
+	// Down ROW tree `row` to leaf column `col` — the rail switch.
+	for l := 1; l <= d; l++ {
+		path = append(path, edgeID(kindRow, dirDown, row, l, col>>(d-l)))
+	}
+	// --- service at leaf (row, col) ---
+	// Reply: exact reverse.
+	for l := d; l >= 1; l-- {
+		path = append(path, edgeID(kindRow, dirUp, row, l, col>>(d-l)))
+	}
+	for l := 1; l <= d; l++ {
+		path = append(path, edgeID(kindCol, dirDown, row, l, proc>>(d-l)))
+	}
+	for l := d; l >= 1; l-- {
+		path = append(path, edgeID(kindRow, dirUp, proc, l, row>>(d-l)))
+	}
+	return path
+}

@@ -1,0 +1,89 @@
+package mpc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ideal"
+	"repro/internal/model"
+	"repro/internal/workloads"
+)
+
+func TestWorkloadSuite(t *testing.T) {
+	for _, w := range workloads.All(32, 9) {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			b := New(w.Procs, Config{Mode: w.Mode})
+			if b.MemSize() < w.Cells {
+				t.Skipf("backend memory %d < %d", b.MemSize(), w.Cells)
+			}
+			if _, err := workloads.RunOn(w, b); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRedundancyGrowsWithMemory(t *testing.T) {
+	// UW87's Lemma 1 cost: Θ(log m) copies. Quadrupling n (so squaring…
+	// no, m = n²: 16× memory) must increase r.
+	small := New(64, Config{})
+	large := New(1024, Config{})
+	if large.Redundancy() <= small.Redundancy() {
+		t.Errorf("MPC redundancy should grow: r(64)=%d, r(1024)=%d",
+			small.Redundancy(), large.Redundancy())
+	}
+	// And it should track log m within a constant factor.
+	for _, m := range []*Machine{small, large} {
+		logm := math.Log2(float64(m.P.Mem))
+		r := float64(m.Redundancy())
+		if r < logm/3 || r > 4*logm {
+			t.Errorf("r=%v not Θ(log m = %v)", r, logm)
+		}
+	}
+}
+
+func TestBackendEquivalenceSpot(t *testing.T) {
+	const n = 16
+	mp := New(n, Config{Mode: model.CRCWPriority})
+	id := ideal.New(n, mp.MemSize(), model.CRCWPriority)
+	rng := rand.New(rand.NewSource(3))
+	for r := 0; r < 8; r++ {
+		batch := model.NewBatch(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				batch[i] = model.Request{Proc: i, Op: model.OpRead, Addr: rng.Intn(50)}
+			} else {
+				batch[i] = model.Request{Proc: i, Op: model.OpWrite, Addr: rng.Intn(50), Value: model.Word(rng.Intn(99))}
+			}
+		}
+		mr := mp.ExecuteStep(batch)
+		ir := id.ExecuteStep(batch)
+		for p, v := range ir.Values {
+			if mr.Values[p] != v {
+				t.Fatalf("round %d: proc %d read %d, ideal %d", r, p, mr.Values[p], v)
+			}
+		}
+	}
+	for a := 0; a < 50; a++ {
+		if mp.ReadCell(a) != id.ReadCell(a) {
+			t.Fatalf("cell %d: %d vs ideal %d", a, mp.ReadCell(a), id.ReadCell(a))
+		}
+	}
+}
+
+func TestPermutationStepCompletes(t *testing.T) {
+	const n = 256
+	mp := New(n, Config{})
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	batch := model.NewBatch(n)
+	for i := 0; i < n; i++ {
+		batch[i] = model.Request{Proc: i, Op: model.OpRead, Addr: perm[i]}
+	}
+	rep := mp.ExecuteStep(batch)
+	if rep.Err != nil {
+		t.Fatal(rep.Err)
+	}
+	t.Logf("MPC n=%d permutation read: %d phases (r=%d)", n, rep.Phases, mp.Redundancy())
+}

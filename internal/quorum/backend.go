@@ -1,0 +1,194 @@
+package quorum
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// StallError reports that the protocol failed to drain a step's requests
+// within the phase cap — the observable symptom of a memory map without the
+// expansion property (or of a broken interconnect).
+type StallError struct {
+	Batch  string
+	Phases int
+	Live   int
+}
+
+// Error implements the error interface.
+func (e *StallError) Error() string {
+	return fmt.Sprintf("quorum protocol stalled: %s batch stopped after %d phases with %d live requests",
+		e.Batch, e.Phases, e.Live)
+}
+
+// Machine adapts the quorum engine into a full model.Backend: it converts a
+// P-RAM step into a deduplicated read batch followed by a write batch,
+// preserving P-RAM semantics (reads see pre-step state; write conflicts
+// resolved per Mode) while the engine charges phases/time.
+//
+// It is the shared chassis of the MPC baseline (Lemma 1 parameters) and the
+// paper's DMMPC (Lemma 2 parameters); the 2DMOT machine plugs in a packet
+// network as the Interconnect.
+type Machine struct {
+	name  string
+	n     int
+	mode  model.Mode
+	store *Store
+	eng   *Engine
+
+	// twoStage, when non-nil, selects the faithful UW'87 two-stage
+	// schedule for every batch (SetTwoStage).
+	twoStage *TwoStageConfig
+}
+
+// NewMachine assembles a quorum-protocol backend.
+func NewMachine(name string, n int, mode model.Mode, store *Store, net Interconnect) *Machine {
+	return &Machine{
+		name:  name,
+		n:     n,
+		mode:  mode,
+		store: store,
+		eng:   NewEngine(store, net, n),
+	}
+}
+
+// Engine exposes the underlying engine (for tuning MaxPhases in tests).
+func (m *Machine) Engine() *Engine { return m.eng }
+
+// SetTwoStage switches the machine to the two-stage schedule (nil reverts
+// to the plain round-robin loop).
+func (m *Machine) SetTwoStage(cfg *TwoStageConfig) { m.twoStage = cfg }
+
+// runBatch dispatches a deduplicated batch to the configured scheduler.
+func (m *Machine) runBatch(reqs []Request) Result {
+	if m.twoStage != nil {
+		return m.eng.ExecuteBatchTwoStage(reqs, *m.twoStage)
+	}
+	return m.eng.ExecuteBatch(reqs)
+}
+
+// Store exposes the underlying copy store.
+func (m *Machine) Store() *Store { return m.store }
+
+// Name implements model.Backend.
+func (m *Machine) Name() string { return m.name }
+
+// MemSize implements model.Backend.
+func (m *Machine) MemSize() int { return m.store.Map().Vars() }
+
+// Procs implements model.Backend.
+func (m *Machine) Procs() int { return m.n }
+
+// Mode returns the conflict convention.
+func (m *Machine) Mode() model.Mode { return m.mode }
+
+// Params returns the memory-map parameter point the machine runs at.
+func (m *Machine) Params() string { return m.store.Map().P.String() }
+
+// Redundancy returns the copies-per-variable the machine pays.
+func (m *Machine) Redundancy() int { return m.store.Map().R() }
+
+// ExecuteStep implements model.Backend.
+func (m *Machine) ExecuteStep(batch model.Batch) model.StepReport {
+	rep := model.StepReport{Values: make(map[int]model.Word, batch.Reads())}
+	rep.Err = model.CheckConflicts(batch, m.mode)
+
+	// --- Read sub-step: dedup concurrent reads per variable. ---
+	readersOf := make(map[model.Addr][]int)
+	for _, r := range batch {
+		if r.Op == model.OpRead {
+			readersOf[r.Addr] = append(readersOf[r.Addr], r.Proc)
+		}
+	}
+	readVars := sortedAddrs(readersOf)
+	readReqs := make([]Request, len(readVars))
+	for i, v := range readVars {
+		procs := readersOf[v]
+		sort.Ints(procs)
+		readReqs[i] = Request{Proc: procs[0], Var: v}
+	}
+	rres := m.runBatch(readReqs)
+	for i, v := range readVars {
+		for _, p := range readersOf[v] {
+			rep.Values[p] = rres.Values[i]
+		}
+	}
+
+	// --- Write sub-step: resolve conflicting writers per Mode, dedup. ---
+	winner := make(map[model.Addr]model.Request)
+	for _, r := range batch {
+		if r.Op != model.OpWrite {
+			continue
+		}
+		prev, seen := winner[r.Addr]
+		switch {
+		case !seen:
+			winner[r.Addr] = r
+		case m.mode == model.CRCWArbitrary:
+			if r.Proc > prev.Proc {
+				winner[r.Addr] = r
+			}
+		default:
+			if r.Proc < prev.Proc {
+				winner[r.Addr] = r
+			}
+		}
+	}
+	writeVars := make([]int, 0, len(winner))
+	for v := range winner {
+		writeVars = append(writeVars, v)
+	}
+	sort.Ints(writeVars)
+	writeReqs := make([]Request, len(writeVars))
+	for i, v := range writeVars {
+		w := winner[v]
+		writeReqs[i] = Request{Proc: w.Proc, Var: v, Write: true, Value: w.Value}
+	}
+	wres := m.runBatch(writeReqs)
+
+	// --- Assemble the report. ---
+	rep.Time = rres.Time + wres.Time
+	rep.Phases = rres.Phases + wres.Phases
+	rep.CopyAccesses = rres.CopyAccesses + wres.CopyAccesses
+	if ct, ok := m.eng.net.(CycleTimed); ok && ct.TimeInCycles() {
+		rep.NetworkCycles = rep.Time
+	}
+	rep.ModuleContention = rres.MaxModuleLoad
+	if wres.MaxModuleLoad > rep.ModuleContention {
+		rep.ModuleContention = wres.MaxModuleLoad
+	}
+	if rres.Stalled && rep.Err == nil {
+		rep.Err = &StallError{Batch: "read", Phases: rres.Phases, Live: lastLive(rres)}
+	}
+	if wres.Stalled && rep.Err == nil {
+		rep.Err = &StallError{Batch: "write", Phases: wres.Phases, Live: lastLive(wres)}
+	}
+	return rep
+}
+
+// ReadCell implements model.Backend.
+func (m *Machine) ReadCell(a model.Addr) model.Word { return m.store.CommittedValue(a) }
+
+// LoadCells implements model.Backend.
+func (m *Machine) LoadCells(base model.Addr, vals []model.Word) {
+	for i, v := range vals {
+		m.store.LoadCell(base+i, v)
+	}
+}
+
+func sortedAddrs(set map[model.Addr][]int) []int {
+	out := make([]int, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func lastLive(r Result) int {
+	if len(r.LiveTrace) == 0 {
+		return 0
+	}
+	return r.LiveTrace[len(r.LiveTrace)-1]
+}

@@ -1,0 +1,149 @@
+package quorum
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/memmap"
+	"repro/internal/model"
+)
+
+func backendSetup(t testing.TB, n int, mode model.Mode) *Machine {
+	t.Helper()
+	p := memmap.LemmaTwo(n, 2, 1)
+	st := NewStore(memmap.Generate(p, 7))
+	return NewMachine("test-machine", n, mode, st, NewCompleteBipartite())
+}
+
+func TestBackendConcurrentReadsCombine(t *testing.T) {
+	const n = 32
+	m := backendSetup(t, n, model.CRCWPriority)
+	m.LoadCells(5, []model.Word{123})
+	batch := model.NewBatch(n)
+	for i := 0; i < n; i++ {
+		batch[i] = model.Request{Proc: i, Op: model.OpRead, Addr: 5}
+	}
+	rep := m.ExecuteStep(batch)
+	for i := 0; i < n; i++ {
+		if rep.Values[i] != 123 {
+			t.Fatalf("proc %d read %d", i, rep.Values[i])
+		}
+	}
+	// Combined: the engine saw ONE request, costing ~r phases, far less
+	// than n.
+	if rep.Phases > 2*m.Redundancy() {
+		t.Errorf("combined hot-spot read cost %d phases (r=%d)", rep.Phases, m.Redundancy())
+	}
+}
+
+func TestBackendPriorityVsArbitraryWrites(t *testing.T) {
+	mkBatch := func() model.Batch {
+		return model.Batch{
+			{Proc: 4, Op: model.OpWrite, Addr: 9, Value: 44},
+			{Proc: 1, Op: model.OpWrite, Addr: 9, Value: 11},
+			{Proc: 7, Op: model.OpWrite, Addr: 9, Value: 77},
+		}
+	}
+	pr := backendSetup(t, 16, model.CRCWPriority)
+	pr.ExecuteStep(mkBatch())
+	if got := pr.ReadCell(9); got != 11 {
+		t.Errorf("priority committed %d, want 11", got)
+	}
+	ar := backendSetup(t, 16, model.CRCWArbitrary)
+	ar.ExecuteStep(mkBatch())
+	if got := ar.ReadCell(9); got != 77 {
+		t.Errorf("arbitrary committed %d, want 77 (highest proc)", got)
+	}
+}
+
+func TestBackendEREWViolationReported(t *testing.T) {
+	m := backendSetup(t, 8, model.EREW)
+	batch := model.Batch{
+		{Proc: 0, Op: model.OpRead, Addr: 3},
+		{Proc: 1, Op: model.OpRead, Addr: 3},
+	}
+	rep := m.ExecuteStep(batch)
+	var ce *model.ConflictError
+	if !errors.As(rep.Err, &ce) {
+		t.Fatalf("EREW violation not surfaced: %v", rep.Err)
+	}
+}
+
+func TestBackendStallSurfacesAsError(t *testing.T) {
+	const n = 64
+	p := memmap.LemmaTwo(n, 2, 1)
+	st := NewStore(memmap.GenerateCorrupt(p, p.R(), 3))
+	m := NewMachine("corrupt", n, model.CRCWPriority, st, NewCompleteBipartite())
+	m.Engine().MaxPhases = 4
+	batch := model.NewBatch(n)
+	for i := 0; i < n; i++ {
+		batch[i] = model.Request{Proc: i, Op: model.OpWrite, Addr: i, Value: 1}
+	}
+	rep := m.ExecuteStep(batch)
+	var se *StallError
+	if !errors.As(rep.Err, &se) {
+		t.Fatalf("stall not surfaced: %v", rep.Err)
+	}
+	if se.Batch != "write" {
+		t.Errorf("stalled batch = %q, want write", se.Batch)
+	}
+	if se.Live == 0 {
+		t.Error("stall reports zero live requests")
+	}
+}
+
+func TestBackendReadAndWriteSameCellInOneStep(t *testing.T) {
+	m := backendSetup(t, 8, model.CRCWPriority)
+	m.LoadCells(2, []model.Word{50})
+	batch := model.Batch{
+		{Proc: 0, Op: model.OpRead, Addr: 2},
+		{Proc: 1, Op: model.OpWrite, Addr: 2, Value: 99},
+	}
+	rep := m.ExecuteStep(batch)
+	if rep.Values[0] != 50 {
+		t.Errorf("read saw %d, want pre-step 50", rep.Values[0])
+	}
+	if m.ReadCell(2) != 99 {
+		t.Errorf("write lost")
+	}
+}
+
+func TestBackendAccessors(t *testing.T) {
+	m := backendSetup(t, 16, model.CREW)
+	if m.Name() != "test-machine" {
+		t.Error("name")
+	}
+	if m.Procs() != 16 {
+		t.Error("procs")
+	}
+	if m.Mode() != model.CREW {
+		t.Error("mode")
+	}
+	if m.Redundancy() != m.Store().Map().R() {
+		t.Error("redundancy")
+	}
+	if m.Params() == "" {
+		t.Error("params empty")
+	}
+	if m.MemSize() != m.Store().Map().Vars() {
+		t.Error("memsize")
+	}
+}
+
+func TestBackendNoNetworkCyclesOnBipartite(t *testing.T) {
+	m := backendSetup(t, 8, model.CREW)
+	batch := model.NewBatch(8)
+	batch[0] = model.Request{Proc: 0, Op: model.OpRead, Addr: 0}
+	rep := m.ExecuteStep(batch)
+	if rep.NetworkCycles != 0 {
+		t.Errorf("bipartite machine reported %d network cycles", rep.NetworkCycles)
+	}
+}
+
+func TestStallErrorMessage(t *testing.T) {
+	e := &StallError{Batch: "read", Phases: 9, Live: 3}
+	want := "quorum protocol stalled: read batch stopped after 9 phases with 3 live requests"
+	if e.Error() != want {
+		t.Errorf("message = %q", e.Error())
+	}
+}

@@ -1,0 +1,66 @@
+package quorum
+
+import "sort"
+
+// CompleteBipartite is the interconnect of the MPC and DMMPC models: every
+// processor reaches every memory module directly (K(n,n) resp. K(n,M)), so
+// a phase costs one time unit and the only resource limit is per-module
+// bandwidth — each module serves at most Bandwidth requests per phase
+// (1 in the classical models).
+type CompleteBipartite struct {
+	// Bandwidth is the number of copy accesses a module can serve per
+	// phase; the MPC/DMMPC definitions use 1.
+	Bandwidth int
+	// PhaseCost is the simulated duration of a phase (default 1).
+	PhaseCost int64
+}
+
+// NewCompleteBipartite returns the standard unit-bandwidth interconnect.
+func NewCompleteBipartite() *CompleteBipartite {
+	return &CompleteBipartite{Bandwidth: 1, PhaseCost: 1}
+}
+
+// SetBandwidth implements BandwidthSetter (stage-2 pipelining).
+func (cb *CompleteBipartite) SetBandwidth(perPhase int) {
+	if perPhase < 1 {
+		perPhase = 1
+	}
+	cb.Bandwidth = perPhase
+}
+
+// RoutePhase implements Interconnect: per module, the Bandwidth attempts
+// with the lowest processor ids are granted (deterministic priority
+// arbitration), the rest are refused and will be retried by the engine.
+func (cb *CompleteBipartite) RoutePhase(attempts []Attempt) ([]bool, int64, int) {
+	granted := make([]bool, len(attempts))
+	bw := cb.Bandwidth
+	if bw <= 0 {
+		bw = 1
+	}
+	cost := cb.PhaseCost
+	if cost <= 0 {
+		cost = 1
+	}
+	if len(attempts) == 0 {
+		return granted, 0, 0
+	}
+	byModule := make(map[int][]int)
+	for i, a := range attempts {
+		byModule[a.Module] = append(byModule[a.Module], i)
+	}
+	maxLoad := 0
+	for _, idxs := range byModule {
+		if len(idxs) > maxLoad {
+			maxLoad = len(idxs)
+		}
+		sort.Slice(idxs, func(x, y int) bool {
+			return attempts[idxs[x]].Proc < attempts[idxs[y]].Proc
+		})
+		for rank, i := range idxs {
+			if rank < bw {
+				granted[i] = true
+			}
+		}
+	}
+	return granted, cost, maxLoad
+}

@@ -1,0 +1,241 @@
+package quorum
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Attempt is one copy access scheduled in a phase: the processor proc tries
+// to touch copy `Copy` of variable `Var`, which lives in memory module
+// `Module` (for the 2DMOT this is a bank/column id). Write distinguishes
+// update accesses from retrieval accesses.
+type Attempt struct {
+	Proc   int
+	Module int
+	Var    int
+	Copy   int
+	Write  bool
+}
+
+// Interconnect decides, for each phase, which scheduled copy accesses are
+// granted and how much simulated time the phase costs. Implementations:
+// the complete bipartite K(n,M) of the DMMPC (unit phases, per-module
+// bandwidth), and the 2DMOT packet network (cycle-accurate, collisions).
+type Interconnect interface {
+	// RoutePhase processes one phase of attempts and reports which were
+	// granted, the phase's simulated duration, and the peak per-module load.
+	RoutePhase(attempts []Attempt) (granted []bool, time int64, maxLoad int)
+}
+
+// CycleTimed marks interconnects whose RoutePhase time is measured in
+// physical network cycles (the 2DMOT) rather than abstract protocol
+// phases; the backend then surfaces the time as NetworkCycles too.
+type CycleTimed interface {
+	TimeInCycles() bool
+}
+
+// Request is one deduplicated variable access for the engine: an entire
+// read batch or write batch of a P-RAM step, after concurrent accesses to
+// the same variable have been combined/resolved by the backend.
+type Request struct {
+	Proc  int // representative issuing processor (cluster owner, priority)
+	Var   int
+	Write bool
+	Value model.Word // payload when Write
+}
+
+// Result reports the cost and outcome of executing one access batch.
+type Result struct {
+	Phases        int
+	Time          int64
+	CopyAccesses  int64
+	MaxModuleLoad int
+	LiveTrace     []int // live (unsatisfied) requests after each phase
+	Values        []model.Word
+	Satisfied     []bool
+	Stalled       bool // progress cap hit (bad map or broken interconnect)
+	// Stage1Phases/Stage2Phases break Phases down when the two-stage
+	// schedule is used (ExecuteBatchTwoStage); zero otherwise.
+	Stage1Phases int
+	Stage2Phases int
+}
+
+// Engine runs the cluster-based two-stage access protocol over a store and
+// an interconnect.
+type Engine struct {
+	store *Store
+	net   Interconnect
+	n     int // processors
+	c     int // quorum size
+	r     int // redundancy 2c−1 (= cluster size)
+
+	// MaxPhases caps the phase loop so corrupted maps surface as a stalled
+	// Result instead of an infinite loop. Zero selects a generous default.
+	MaxPhases int
+}
+
+// NewEngine returns an engine for n processors over store and net.
+func NewEngine(store *Store, net Interconnect, n int) *Engine {
+	p := store.Map().P
+	return &Engine{store: store, net: net, n: n, c: p.C, r: p.R()}
+}
+
+// maxPhases returns the stall cap.
+func (e *Engine) maxPhases(requests int) int {
+	if e.MaxPhases > 0 {
+		return e.MaxPhases
+	}
+	// Even a fully serialized system needs only ~requests·c module grants;
+	// grant at least one per phase and pad generously.
+	return requests*e.c*4 + 64*e.r + 256
+}
+
+// reqState tracks one live request through the phases.
+type reqState struct {
+	accessed  uint64 // bitmask of copies touched (r ≤ 64 always holds here)
+	count     int
+	done      bool
+	bestTS    uint32
+	bestVal   model.Word
+	anyAccess bool
+}
+
+// ExecuteBatch runs the protocol on one batch of deduplicated requests and
+// returns per-request read values plus the phase/time accounting.
+//
+// Protocol shape (faithful to UW'87 as used by the paper, §1–2): processors
+// are organized in clusters of 2c−1; in each phase every cluster advances
+// round-robin to its next live request and its member processors attempt
+// the request's still-unaccessed copies in distinct modules. Granted
+// accesses accumulate; a request dies (is satisfied) once c copies are
+// touched. The memory map's expansion property makes the live-set shrink
+// geometrically, which the LiveTrace in the Result lets tests verify.
+func (e *Engine) ExecuteBatch(reqs []Request) Result {
+	res := Result{
+		Values:    make([]model.Word, len(reqs)),
+		Satisfied: make([]bool, len(reqs)),
+	}
+	if len(reqs) == 0 {
+		return res
+	}
+	if e.r > 64 {
+		panic(fmt.Sprintf("quorum.Engine: redundancy %d exceeds bitmask width", e.r))
+	}
+	now := e.store.Tick()
+	states := make([]reqState, len(reqs))
+
+	// Assign requests to the cluster of their issuing processor.
+	clusters := (e.n + e.r - 1) / e.r
+	queues := make([][]int, clusters)
+	for i, rq := range reqs {
+		k := rq.Proc / e.r
+		if k >= clusters {
+			k = clusters - 1
+		}
+		queues[k] = append(queues[k], i)
+	}
+	rr := make([]int, clusters)
+
+	live := len(reqs)
+	cap := e.maxPhases(len(reqs))
+	var attempts []Attempt
+	var owners []int // parallel to attempts: request index
+	for phase := 0; live > 0; phase++ {
+		if phase >= cap {
+			res.Stalled = true
+			break
+		}
+		attempts = attempts[:0]
+		owners = owners[:0]
+		for k := 0; k < clusters; k++ {
+			idx := e.nextLive(queues[k], &rr[k], states)
+			if idx < 0 {
+				continue
+			}
+			e.scheduleRequest(k, idx, reqs[idx], &states[idx], &attempts, &owners)
+		}
+		granted, t, load := e.net.RoutePhase(attempts)
+		res.Phases++
+		res.Time += t
+		if load > res.MaxModuleLoad {
+			res.MaxModuleLoad = load
+		}
+		for ai, ok := range granted {
+			if !ok {
+				continue
+			}
+			a := attempts[ai]
+			st := &states[owners[ai]]
+			if st.accessed&(1<<uint(a.Copy)) != 0 {
+				continue // duplicate grant of the same copy; ignore
+			}
+			st.accessed |= 1 << uint(a.Copy)
+			st.count++
+			res.CopyAccesses++
+			if a.Write {
+				e.store.WriteCopy(a.Var, a.Copy, reqs[owners[ai]].Value, now)
+			} else {
+				v, ts := e.store.ReadCopy(a.Var, a.Copy)
+				if !st.anyAccess || ts > st.bestTS {
+					st.bestTS, st.bestVal = ts, v
+				}
+				st.anyAccess = true
+			}
+			if st.count >= e.c && !st.done {
+				st.done = true
+				live--
+			}
+		}
+		res.LiveTrace = append(res.LiveTrace, live)
+	}
+	for i := range reqs {
+		res.Satisfied[i] = states[i].done
+		if !reqs[i].Write && states[i].anyAccess {
+			res.Values[i] = states[i].bestVal
+		}
+	}
+	return res
+}
+
+// nextLive advances a cluster's round-robin cursor to its next unsatisfied
+// request, returning −1 if none remain.
+func (e *Engine) nextLive(queue []int, cursor *int, states []reqState) int {
+	for scanned := 0; scanned < len(queue); scanned++ {
+		idx := queue[*cursor%len(queue)]
+		*cursor++
+		if !states[idx].done {
+			return idx
+		}
+	}
+	return -1
+}
+
+// scheduleRequest assigns the member processors of cluster k to the live
+// (unaccessed) copies of request idx, one attempt per processor, each in a
+// distinct module by the map's distinctness invariant.
+func (e *Engine) scheduleRequest(k, idx int, rq Request, st *reqState, attempts *[]Attempt, owners *[]int) {
+	base := k * e.r
+	end := base + e.r
+	if end > e.n {
+		end = e.n
+	}
+	members := end - base
+	mp := e.store.Map()
+	copies := mp.Copies(rq.Var)
+	slot := 0
+	for j := 0; j < e.r && slot < members; j++ {
+		if st.accessed&(1<<uint(j)) != 0 {
+			continue
+		}
+		*attempts = append(*attempts, Attempt{
+			Proc:   base + slot,
+			Module: int(copies[j]),
+			Var:    rq.Var,
+			Copy:   j,
+			Write:  rq.Write,
+		})
+		*owners = append(*owners, idx)
+		slot++
+	}
+}

@@ -1,0 +1,119 @@
+// Package quorum implements the majority-rule replicated-memory protocol of
+// Upfal & Wigderson (1987) that the paper's Theorems 2 and 3 build on: each
+// shared variable has 2c−1 time-stamped copies spread over the memory
+// modules by a memmap.Map; a write refreshes at least c copies, a read
+// collects at least c copies and takes the most recent — any two quorums
+// intersect, so reads are always current.
+//
+// The package separates the protocol (Engine: clusters, phases, live/dead
+// variables) from the interconnect (Interconnect: which copy accesses are
+// granted in a phase and at what simulated cost), so the same engine drives
+// the MPC (M = n, Θ(log m) copies), the paper's DMMPC (M = n^(1+ε), Θ(1)
+// copies) and the 2DMOT network of Section 3.
+package quorum
+
+import (
+	"fmt"
+
+	"repro/internal/memmap"
+	"repro/internal/model"
+)
+
+// Store holds the 2c−1 time-stamped copies of every variable.
+type Store struct {
+	mp    *memmap.Map
+	r     int
+	ts    []uint32     // m × r timestamps
+	val   []model.Word // m × r values
+	clock uint32       // advances once per access batch
+}
+
+// NewStore allocates copy storage for the variables covered by mp.
+func NewStore(mp *memmap.Map) *Store {
+	r := mp.R()
+	m := mp.Vars()
+	return &Store{
+		mp:  mp,
+		r:   r,
+		ts:  make([]uint32, m*r),
+		val: make([]model.Word, m*r),
+	}
+}
+
+// Map returns the memory map the store distributes copies with.
+func (s *Store) Map() *memmap.Map { return s.mp }
+
+// Tick advances the logical clock that stamps the writes of the next access
+// batch. The Engine calls it once per batch.
+func (s *Store) Tick() uint32 {
+	s.clock++
+	if s.clock == 0 {
+		panic("quorum.Store: timestamp clock overflow")
+	}
+	return s.clock
+}
+
+// Clock returns the current logical time.
+func (s *Store) Clock() uint32 { return s.clock }
+
+// WriteCopy stamps copy j of variable v with (value, now).
+func (s *Store) WriteCopy(v, j int, value model.Word, now uint32) {
+	i := v*s.r + j
+	s.val[i] = value
+	s.ts[i] = now
+}
+
+// ReadCopy returns copy j of variable v with its timestamp.
+func (s *Store) ReadCopy(v, j int) (model.Word, uint32) {
+	i := v*s.r + j
+	return s.val[i], s.ts[i]
+}
+
+// LoadCell initializes every copy of v to value at time zero, bypassing the
+// protocol (workload setup).
+func (s *Store) LoadCell(v int, value model.Word) {
+	for j := 0; j < s.r; j++ {
+		i := v*s.r + j
+		s.val[i] = value
+		s.ts[i] = 0
+	}
+}
+
+// CommittedValue returns the value a correct majority read of v would
+// produce: the freshest copy. Reading all copies (not just c) is legitimate
+// here because this is the zero-cost debug/verification view.
+func (s *Store) CommittedValue(v int) model.Word {
+	best := s.val[v*s.r]
+	bestTS := s.ts[v*s.r]
+	for j := 1; j < s.r; j++ {
+		i := v*s.r + j
+		if s.ts[i] > bestTS {
+			bestTS = s.ts[i]
+			best = s.val[i]
+		}
+	}
+	return best
+}
+
+// FreshCopies returns how many copies of v carry its maximum timestamp —
+// at least c after any protocol write, an invariant the tests assert.
+func (s *Store) FreshCopies(v int) int {
+	maxTS := uint32(0)
+	for j := 0; j < s.r; j++ {
+		if t := s.ts[v*s.r+j]; t > maxTS {
+			maxTS = t
+		}
+	}
+	k := 0
+	for j := 0; j < s.r; j++ {
+		if s.ts[v*s.r+j] == maxTS {
+			k++
+		}
+	}
+	return k
+}
+
+// String describes the store.
+func (s *Store) String() string {
+	return fmt.Sprintf("quorum.Store{vars=%d r=%d clock=%d}", s.mp.Vars(), s.r, s.clock)
+}

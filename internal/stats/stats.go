@@ -1,0 +1,261 @@
+// Package stats provides the small reporting toolkit the experiment
+// harness uses: aligned text tables, numeric series summaries, and
+// growth-shape fits against the paper's target functions (log n, log²n,
+// log²n/log log n, …).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns — the
+// format cmd/experiments prints and EXPERIMENTS.md records.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable starts a table with the given column names.
+func NewTable(cols ...string) *Table {
+	return &Table{header: cols}
+}
+
+// AddRow appends a row; values are rendered with %v, floats with %.3g.
+func (t *Table) AddRow(vals ...any) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", x)
+		case float32:
+			row[i] = fmt.Sprintf("%.4g", x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Len returns the number of data rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.header)
+	rule := make([]string, len(t.header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table (the
+// format EXPERIMENTS.md records).
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	sb.WriteString("| " + strings.Join(t.header, " | ") + " |\n")
+	rule := make([]string, len(t.header))
+	for i := range rule {
+		rule[i] = "---"
+	}
+	sb.WriteString("|" + strings.Join(rule, "|") + "|\n")
+	for _, r := range t.rows {
+		cells := make([]string, len(t.header))
+		for i := range cells {
+			if i < len(r) {
+				cells[i] = r[i]
+			}
+		}
+		sb.WriteString("| " + strings.Join(cells, " | ") + " |\n")
+	}
+	return sb.String()
+}
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	N                int
+	Min, Max         float64
+	Mean, Median     float64
+	P90              float64
+	StdDev           float64
+	Sum              float64
+	MinIndex, MaxIdx int
+}
+
+// Summarize computes a Summary of vals (empty input yields zeros).
+func Summarize(vals []float64) Summary {
+	s := Summary{N: len(vals)}
+	if len(vals) == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	for i, v := range vals {
+		s.Sum += v
+		if v == s.Min && s.MinIndex == 0 {
+			s.MinIndex = i
+		}
+		if v == s.Max {
+			s.MaxIdx = i
+		}
+	}
+	s.Mean = s.Sum / float64(len(vals))
+	s.Median = sorted[len(sorted)/2]
+	s.P90 = sorted[(len(sorted)*9)/10]
+	var ss float64
+	for _, v := range vals {
+		d := v - s.Mean
+		ss += d * d
+	}
+	s.StdDev = math.Sqrt(ss / float64(len(vals)))
+	return s
+}
+
+// Growth names a target growth function for shape fitting.
+type Growth struct {
+	Name string
+	F    func(n float64) float64
+}
+
+// Standard growth functions from the paper's bounds.
+var (
+	GrowthConst          = Growth{"1", func(n float64) float64 { return 1 }}
+	GrowthLog            = Growth{"log n", math.Log2}
+	GrowthLog2           = Growth{"log² n", func(n float64) float64 { l := math.Log2(n); return l * l }}
+	GrowthLog2OverLogLog = Growth{"log²n/loglog n", func(n float64) float64 {
+		l := math.Log2(n)
+		ll := math.Log2(l)
+		if ll < 1 {
+			ll = 1
+		}
+		return l * l / ll
+	}}
+	GrowthLinear = Growth{"n", func(n float64) float64 { return n }}
+	GrowthSqrt   = Growth{"sqrt n", math.Sqrt}
+)
+
+// FitResult reports how well a measured series matches a growth function:
+// the spread (max/min) of the ratio series y_i / f(n_i). Spread near 1
+// means the shape matches; spread growing with the range means it does
+// not.
+type FitResult struct {
+	Growth Growth
+	LoC    float64 // min ratio ("constant" from below)
+	HiC    float64 // max ratio ("constant" from above)
+	Spread float64 // HiC / LoC
+}
+
+// Fit computes the ratio spread of ys against g over sample points ns.
+func Fit(ns []float64, ys []float64, g Growth) FitResult {
+	if len(ns) != len(ys) || len(ns) == 0 {
+		panic("stats.Fit: need equal-length nonempty series")
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := range ns {
+		d := g.F(ns[i])
+		if d <= 0 {
+			panic("stats.Fit: growth function must be positive on the sample")
+		}
+		r := ys[i] / d
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+	}
+	return FitResult{Growth: g, LoC: lo, HiC: hi, Spread: hi / lo}
+}
+
+// BestFit returns the candidate growth with the smallest ratio spread —
+// the shape the measured series most plausibly follows.
+func BestFit(ns, ys []float64, candidates ...Growth) FitResult {
+	if len(candidates) == 0 {
+		panic("stats.BestFit: need candidates")
+	}
+	best := Fit(ns, ys, candidates[0])
+	for _, g := range candidates[1:] {
+		if f := Fit(ns, ys, g); f.Spread < best.Spread {
+			best = f
+		}
+	}
+	return best
+}
+
+// Histogram counts values into k equal-width buckets over [min, max].
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int
+}
+
+// NewHistogram builds a histogram of vals with k buckets.
+func NewHistogram(vals []float64, k int) Histogram {
+	s := Summarize(vals)
+	h := Histogram{Lo: s.Min, Hi: s.Max, Buckets: make([]int, k)}
+	if len(vals) == 0 || k == 0 {
+		return h
+	}
+	span := s.Max - s.Min
+	for _, v := range vals {
+		var b int
+		if span > 0 {
+			b = int((v - s.Min) / span * float64(k))
+		}
+		if b >= k {
+			b = k - 1
+		}
+		h.Buckets[b]++
+	}
+	return h
+}
+
+// Bar renders the histogram as ASCII bars of width up to w.
+func (h Histogram) Bar(w int) string {
+	maxC := 0
+	for _, c := range h.Buckets {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var sb strings.Builder
+	for i, c := range h.Buckets {
+		span := h.Hi - h.Lo
+		lo := h.Lo + span*float64(i)/float64(len(h.Buckets))
+		bar := 0
+		if maxC > 0 {
+			bar = c * w / maxC
+		}
+		fmt.Fprintf(&sb, "%10.3g | %s %d\n", lo, strings.Repeat("#", bar), c)
+	}
+	return sb.String()
+}

@@ -1,0 +1,138 @@
+// Package trace provides a recording middleware for machine backends: it
+// wraps any model.Backend, passes steps through unchanged, and keeps a
+// per-step log of simulated costs (time, phases, cycles, contention) with
+// summary statistics — the instrument behind the per-step distributions in
+// the experiment write-ups and the -trace flag of cmd/pramsim.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+// StepRecord is the cost of one executed step.
+type StepRecord struct {
+	Index      int
+	Active     int // non-idle requests in the batch
+	Reads      int
+	Writes     int
+	Time       int64
+	Phases     int
+	Cycles     int64
+	Contention int
+	Violation  bool
+}
+
+// Recorder wraps a backend and logs every step.
+type Recorder struct {
+	inner model.Backend
+	log   []StepRecord
+}
+
+// Wrap returns a recording view of inner.
+func Wrap(inner model.Backend) *Recorder {
+	return &Recorder{inner: inner}
+}
+
+// Name implements model.Backend.
+func (r *Recorder) Name() string { return r.inner.Name() + "+trace" }
+
+// MemSize implements model.Backend.
+func (r *Recorder) MemSize() int { return r.inner.MemSize() }
+
+// Procs implements model.Backend.
+func (r *Recorder) Procs() int { return r.inner.Procs() }
+
+// ExecuteStep implements model.Backend.
+func (r *Recorder) ExecuteStep(batch model.Batch) model.StepReport {
+	rep := r.inner.ExecuteStep(batch)
+	r.log = append(r.log, StepRecord{
+		Index:      len(r.log),
+		Active:     batch.Active(),
+		Reads:      batch.Reads(),
+		Writes:     batch.Writes(),
+		Time:       rep.Time,
+		Phases:     rep.Phases,
+		Cycles:     rep.NetworkCycles,
+		Contention: rep.ModuleContention,
+		Violation:  rep.Err != nil,
+	})
+	return rep
+}
+
+// ReadCell implements model.Backend.
+func (r *Recorder) ReadCell(a model.Addr) model.Word { return r.inner.ReadCell(a) }
+
+// LoadCells implements model.Backend.
+func (r *Recorder) LoadCells(base model.Addr, vals []model.Word) {
+	r.inner.LoadCells(base, vals)
+}
+
+// Steps returns the recorded log (alias of internal storage; treat as
+// read-only).
+func (r *Recorder) Steps() []StepRecord { return r.log }
+
+// Reset clears the log.
+func (r *Recorder) Reset() { r.log = r.log[:0] }
+
+// TimeSummary summarizes per-step simulated time.
+func (r *Recorder) TimeSummary() stats.Summary {
+	vals := make([]float64, len(r.log))
+	for i, s := range r.log {
+		vals[i] = float64(s.Time)
+	}
+	return stats.Summarize(vals)
+}
+
+// ContentionSummary summarizes per-step peak module load.
+func (r *Recorder) ContentionSummary() stats.Summary {
+	vals := make([]float64, len(r.log))
+	for i, s := range r.log {
+		vals[i] = float64(s.Contention)
+	}
+	return stats.Summarize(vals)
+}
+
+// Report renders a compact multi-line cost report.
+func (r *Recorder) Report() string {
+	if len(r.log) == 0 {
+		return "trace: no steps recorded\n"
+	}
+	ts := r.TimeSummary()
+	cs := r.ContentionSummary()
+	var total int64
+	var violations int
+	for _, s := range r.log {
+		total += s.Time
+		if s.Violation {
+			violations++
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace of %s\n", r.inner.Name())
+	fmt.Fprintf(&sb, "  steps: %d   total sim time: %d\n", len(r.log), total)
+	fmt.Fprintf(&sb, "  time/step:   min %.0f  median %.0f  mean %.1f  p90 %.0f  max %.0f\n",
+		ts.Min, ts.Median, ts.Mean, ts.P90, ts.Max)
+	fmt.Fprintf(&sb, "  contention:  min %.0f  median %.0f  mean %.1f  max %.0f\n",
+		cs.Min, cs.Median, cs.Mean, cs.Max)
+	if violations > 0 {
+		fmt.Fprintf(&sb, "  conflict violations: %d steps\n", violations)
+	}
+	hist := stats.NewHistogram(timeValues(r.log), 8)
+	sb.WriteString("  time/step distribution:\n")
+	for _, line := range strings.Split(strings.TrimRight(hist.Bar(40), "\n"), "\n") {
+		sb.WriteString("  " + line + "\n")
+	}
+	return sb.String()
+}
+
+func timeValues(log []StepRecord) []float64 {
+	vals := make([]float64, len(log))
+	for i, s := range log {
+		vals[i] = float64(s.Time)
+	}
+	return vals
+}

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ideal"
+	"repro/internal/model"
+	"repro/internal/workloads"
+)
+
+func TestRecorderLogsSteps(t *testing.T) {
+	rec := Wrap(ideal.New(4, 16, model.CREW))
+	b := model.NewBatch(4)
+	b[0] = model.Request{Proc: 0, Op: model.OpWrite, Addr: 1, Value: 5}
+	b[1] = model.Request{Proc: 1, Op: model.OpRead, Addr: 2}
+	rec.ExecuteStep(b)
+	rec.ExecuteStep(model.NewBatch(4))
+	log := rec.Steps()
+	if len(log) != 2 {
+		t.Fatalf("log length = %d", len(log))
+	}
+	if log[0].Reads != 1 || log[0].Writes != 1 || log[0].Active != 2 {
+		t.Errorf("step 0 counts wrong: %+v", log[0])
+	}
+	if log[1].Active != 0 {
+		t.Errorf("idle step recorded activity: %+v", log[1])
+	}
+	if log[0].Index != 0 || log[1].Index != 1 {
+		t.Error("indices wrong")
+	}
+}
+
+func TestRecorderPassthroughSemantics(t *testing.T) {
+	w := workloads.PrefixSum(16, 3)
+	inner := ideal.New(w.Procs, w.Cells, w.Mode)
+	rec := Wrap(inner)
+	if _, err := workloads.RunOn(w, rec); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Steps()) == 0 {
+		t.Error("no steps recorded")
+	}
+}
+
+func TestRecorderOnQuorumMachine(t *testing.T) {
+	dm := core.NewDMMPC(16, core.Config{})
+	rec := Wrap(dm)
+	b := model.NewBatch(16)
+	for i := 0; i < 16; i++ {
+		b[i] = model.Request{Proc: i, Op: model.OpWrite, Addr: i, Value: 1}
+	}
+	rec.ExecuteStep(b)
+	if rec.Steps()[0].Phases == 0 {
+		t.Error("phases not captured")
+	}
+	ts := rec.TimeSummary()
+	if ts.N != 1 || ts.Max == 0 {
+		t.Errorf("summary wrong: %+v", ts)
+	}
+}
+
+func TestRecorderViolationFlag(t *testing.T) {
+	rec := Wrap(ideal.New(2, 4, model.EREW))
+	b := model.Batch{
+		{Proc: 0, Op: model.OpRead, Addr: 0},
+		{Proc: 1, Op: model.OpRead, Addr: 0},
+	}
+	rec.ExecuteStep(b)
+	if !rec.Steps()[0].Violation {
+		t.Error("EREW violation not flagged in trace")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	rec := Wrap(ideal.New(2, 4, model.CREW))
+	if !strings.Contains(rec.Report(), "no steps") {
+		t.Error("empty report wrong")
+	}
+	b := model.NewBatch(2)
+	b[0] = model.Request{Proc: 0, Op: model.OpRead, Addr: 0}
+	rec.ExecuteStep(b)
+	rep := rec.Report()
+	for _, want := range []string{"steps: 1", "time/step", "contention", "distribution"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	rec := Wrap(ideal.New(2, 4, model.CREW))
+	rec.ExecuteStep(model.NewBatch(2))
+	rec.Reset()
+	if len(rec.Steps()) != 0 {
+		t.Error("reset did not clear log")
+	}
+}
+
+func TestNameSuffix(t *testing.T) {
+	rec := Wrap(ideal.New(2, 4, model.CREW))
+	if !strings.HasSuffix(rec.Name(), "+trace") {
+		t.Errorf("name = %q", rec.Name())
+	}
+}

@@ -1,0 +1,82 @@
+// Package vlsi implements the layout-area accounting of Section 3: the
+// Leighton-optimal area of the 2DMOT, the area of the paper's P-RAM
+// simulator as a function of the memory granule g, and the
+// perimeter-vs-bandwidth comparison against monolithic MPC/BDN modules.
+// All quantities are analytic (unit: squared wire pitches, with explicit
+// constants), so the paper's inequalities can be checked numerically.
+package vlsi
+
+import "math"
+
+// MOTArea returns the layout area of an a×a 2DMOT whose leaves have area
+// leafArea: Θ(a²·(log²a + A_leaf)) (Leighton 1984 proves this optimal).
+// The constant 1 on the log² term corresponds to the obvious H-layout in
+// the paper's Fig. 4.
+func MOTArea(side int, leafArea float64) float64 {
+	if side < 2 {
+		return float64(side) * leafArea
+	}
+	lg := math.Log2(float64(side))
+	return float64(side) * float64(side) * (lg*lg + leafArea)
+}
+
+// SimulatorArea returns the VLSI area of the paper's P-RAM simulator for a
+// P-RAM with m cells when the memory granule (cells per module) is g and
+// the redundancy is r: M = r·m/g modules on a √M-side 2DMOT whose leaves
+// each hold a granule of area g.
+func SimulatorArea(m int, g float64, r int) float64 {
+	if g < 1 {
+		g = 1
+	}
+	modules := float64(r) * float64(m) / g
+	side := math.Sqrt(modules)
+	return modules * (math.Log2(side)*math.Log2(side) + g)
+}
+
+// AreaOptimalGranule reports the paper's claim threshold: with
+// g = Ω(log²n), SimulatorArea is O(m). It returns the granule log²n.
+func AreaOptimalGranule(n int) float64 {
+	lg := math.Log2(float64(n))
+	return lg * lg
+}
+
+// IsAreaLinear checks SimulatorArea(m, g, r) ≤ slack · r · m, the
+// "area on the same order as the memory of the P-RAM itself" property.
+func IsAreaLinear(m int, g float64, r int, slack float64) bool {
+	return SimulatorArea(m, g, r) <= slack*float64(r)*float64(m)
+}
+
+// ModuleShape describes the geometry of a monolithic memory module in the
+// MPC/BDN models versus the distributed layout.
+type ModuleShape struct {
+	Area      float64 // cells (≈ layout area)
+	Perimeter float64 // boundary length of a square layout
+	Bandwidth float64 // simultaneous accesses the organization supports
+}
+
+// MPCModule is a classical coarse module holding m/n cells with a single
+// port: bandwidth 1 regardless of its O(√(m/n)) perimeter — the "von
+// Neumann bottleneck" imported into P-RAM simulation that Section 2 calls
+// out.
+func MPCModule(m, n int) ModuleShape {
+	area := float64(m) / float64(n)
+	return ModuleShape{Area: area, Perimeter: 4 * math.Sqrt(area), Bandwidth: 1}
+}
+
+// MOTMemory is the same total memory deployed on the 2DMOT's leaves:
+// bandwidth Θ(√M) — one access per column tree — from the same silicon.
+func MOTMemory(m int, modules int) ModuleShape {
+	side := math.Sqrt(float64(modules))
+	return ModuleShape{
+		Area:      float64(m),
+		Perimeter: 4 * math.Sqrt(float64(m)),
+		Bandwidth: side,
+	}
+}
+
+// BandwidthGain returns the memory-bandwidth ratio between the paper's
+// leaf deployment and a coarse MPC, the quantity Section 3 credits for the
+// redundancy reduction: Θ(√M) vs Θ(n·1)/n = 1 per module.
+func BandwidthGain(m, n, modules int) float64 {
+	return MOTMemory(m, modules).Bandwidth / MPCModule(m, n).Bandwidth
+}

@@ -1,0 +1,88 @@
+package vlsi
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMOTAreaGrowth(t *testing.T) {
+	// Doubling the side quadruples the leaf count; area must grow a bit
+	// faster (the log² wiring term) but far less than 8×.
+	a1 := MOTArea(256, 1)
+	a2 := MOTArea(512, 1)
+	if a2 <= 4*a1 {
+		t.Errorf("area ratio %.2f ≤ 4: wiring term missing", a2/a1)
+	}
+	if a2 >= 8*a1 {
+		t.Errorf("area ratio %.2f ≥ 8: super-polylog blowup", a2/a1)
+	}
+}
+
+func TestMOTAreaTinySide(t *testing.T) {
+	if MOTArea(1, 5) != 5 {
+		t.Error("degenerate side mishandled")
+	}
+}
+
+func TestSimulatorAreaLinearAtLogSquaredGranule(t *testing.T) {
+	// The paper's claim: g = Ω(log²n) ⇒ area O(m). Check the ratio
+	// area/(r·m) stays bounded as m grows with g = log²n.
+	const r = 7
+	var prevRatio float64
+	for _, n := range []int{1 << 8, 1 << 10, 1 << 12, 1 << 14} {
+		m := n * n
+		g := AreaOptimalGranule(n)
+		ratio := SimulatorArea(m, g, r) / (r * float64(m))
+		if ratio > 3 {
+			t.Errorf("n=%d: area ratio %.2f not O(1)", n, ratio)
+		}
+		if prevRatio != 0 && ratio > prevRatio*1.5 {
+			t.Errorf("ratio growing: %v -> %v", prevRatio, ratio)
+		}
+		prevRatio = ratio
+		if !IsAreaLinear(m, g, r, 3) {
+			t.Errorf("n=%d: IsAreaLinear false at slack 3", n)
+		}
+	}
+}
+
+func TestSimulatorAreaBlowsUpAtUnitGranule(t *testing.T) {
+	// g = 1 (one cell per module): the wiring term dominates, area is
+	// ω(m) — the reason the paper keeps granules "not exceedingly small".
+	n := 1 << 12
+	m := n * n
+	if IsAreaLinear(m, 1, 7, 3) {
+		t.Error("unit granule should NOT be area-linear at slack 3")
+	}
+	if SimulatorArea(m, 1, 7) <= SimulatorArea(m, AreaOptimalGranule(n), 7) {
+		t.Error("smaller granule must cost more area")
+	}
+}
+
+func TestModuleShapes(t *testing.T) {
+	mpc := MPCModule(1<<20, 1<<10) // m/n = 1024 cells per module
+	if mpc.Area != 1024 {
+		t.Errorf("MPC module area = %v", mpc.Area)
+	}
+	if mpc.Bandwidth != 1 {
+		t.Errorf("MPC module bandwidth = %v, must be 1", mpc.Bandwidth)
+	}
+	if math.Abs(mpc.Perimeter-4*32) > 1e-9 {
+		t.Errorf("MPC module perimeter = %v", mpc.Perimeter)
+	}
+	mot := MOTMemory(1<<20, 1<<20)
+	if mot.Bandwidth != 1024 {
+		t.Errorf("MOT bandwidth = %v, want √M = 1024", mot.Bandwidth)
+	}
+}
+
+func TestBandwidthGainGrows(t *testing.T) {
+	g1 := BandwidthGain(1<<16, 256, 1<<16)
+	g2 := BandwidthGain(1<<20, 1024, 1<<20)
+	if g2 <= g1 {
+		t.Errorf("bandwidth gain should grow with machine size: %v -> %v", g1, g2)
+	}
+	if g1 != 256 {
+		t.Errorf("gain = %v, want √M = 256", g1)
+	}
+}

@@ -1,0 +1,137 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/machine"
+	"repro/internal/model"
+)
+
+// BFS performs level-synchronous breadth-first search on a random
+// undirected graph with one processor per vertex — the canonical irregular
+// CRCW P-RAM workload: every frontier vertex writes the next level into
+// all unvisited neighbors simultaneously, with write conflicts resolved by
+// the machine (any winner is correct, so CRCW-Priority serves).
+//
+// Shared layout: [0,n) levels (−1 = unvisited), [n, n+1) "changed" flag,
+// [n+1, n+1+n*deg) adjacency lists (vertex v's neighbors at n+1+v*deg,
+// padded with −1).
+func BFS(n, deg int, seed int64) Workload {
+	if deg >= n {
+		deg = n - 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	adj := make([][]int, n)
+	addEdge := func(a, b int) {
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	// A random connected graph: a spanning path plus random extra edges,
+	// capped at deg entries per vertex.
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		addEdge(perm[i-1], perm[i])
+	}
+	for tries := 0; tries < n*deg/2; tries++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b && len(adj[a]) < deg && len(adj[b]) < deg {
+			addEdge(a, b)
+		}
+	}
+	for v := range adj {
+		if len(adj[v]) > deg {
+			adj[v] = adj[v][:deg]
+		}
+	}
+	// Serial BFS for the oracle (on the possibly trimmed graph, which may
+	// be disconnected; unreachable stays −1).
+	want := make([]model.Word, n)
+	for i := range want {
+		want[i] = -1
+	}
+	want[0] = 0
+	queue := []int{0}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range adj[v] {
+			if want[u] == -1 {
+				want[u] = want[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	maxLevel := model.Word(0)
+	for _, l := range want {
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+
+	flagAddr := n
+	adjBase := n + 1
+	cells := adjBase + n*deg
+	flat := make([]model.Word, n*deg)
+	for v := 0; v < n; v++ {
+		for j := 0; j < deg; j++ {
+			if j < len(adj[v]) {
+				flat[v*deg+j] = model.Word(adj[v][j])
+			} else {
+				flat[v*deg+j] = -1
+			}
+		}
+	}
+	levels := make([]model.Word, n)
+	for i := range levels {
+		levels[i] = -1
+	}
+	levels[0] = 0
+	rounds := int(maxLevel) + 1
+
+	return Workload{
+		Name:  fmt.Sprintf("bfs(n=%d,deg=%d)", n, deg),
+		Procs: n,
+		Cells: cells,
+		Mode:  model.CRCWPriority,
+		Setup: func(b model.Backend) {
+			b.LoadCells(0, levels)
+			b.LoadCells(adjBase, flat)
+		},
+		Program: func(id int) machine.Program {
+			return func(p *machine.Proc) {
+				// Every branch consumes exactly the same number of P-RAM
+				// steps (3 per neighbor slot), keeping the level-
+				// synchronous rounds truly synchronous across processors.
+				for round := 0; round < rounds; round++ {
+					lvl := p.Read(id)
+					onFrontier := lvl == model.Word(round)
+					for j := 0; j < deg; j++ {
+						nb := p.Read(adjBase + id*deg + j)
+						active := onFrontier && nb >= 0
+						nl := model.Word(-2)
+						if active {
+							nl = p.Read(int(nb))
+						} else {
+							p.Sync()
+						}
+						if active && nl == -1 {
+							p.Write(int(nb), model.Word(round+1))
+						} else {
+							p.Sync()
+						}
+					}
+				}
+				_ = flagAddr
+			}
+		},
+		Verify: func(b model.Backend) error {
+			for v := 0; v < n; v++ {
+				if got := b.ReadCell(v); got != want[v] {
+					return fmt.Errorf("level[%d] = %d, want %d", v, got, want[v])
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,55 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+func TestBFSOnIdeal(t *testing.T) {
+	for _, tc := range []struct{ n, deg int }{{8, 3}, {16, 4}, {32, 4}, {64, 6}} {
+		w := BFS(tc.n, tc.deg, 11)
+		if _, err := RunOn(w, idealFor(w)); err != nil {
+			t.Errorf("n=%d deg=%d: %v", tc.n, tc.deg, err)
+		}
+	}
+}
+
+func TestBFSOnDMMPC(t *testing.T) {
+	w := BFS(16, 3, 5)
+	b := core.NewDMMPC(w.Procs, core.Config{Mode: w.Mode})
+	if b.MemSize() < w.Cells {
+		t.Skipf("memory %d < %d", b.MemSize(), w.Cells)
+	}
+	if _, err := RunOn(w, b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFSSourceLevelZero(t *testing.T) {
+	w := BFS(16, 3, 7)
+	b := idealFor(w)
+	if _, err := RunOn(w, b); err != nil {
+		t.Fatal(err)
+	}
+	if b.ReadCell(0) != 0 {
+		t.Errorf("source level = %d, want 0", b.ReadCell(0))
+	}
+	// Levels are either -1 (unreached) or nonnegative and at most n.
+	for v := 0; v < 16; v++ {
+		l := b.ReadCell(v)
+		if l < -1 || l > 16 {
+			t.Errorf("level[%d] = %d out of range", v, l)
+		}
+	}
+}
+
+func TestBFSDegreeClamped(t *testing.T) {
+	// deg >= n must not explode.
+	w := BFS(8, 100, 3)
+	if _, err := RunOn(w, idealFor(w)); err != nil {
+		t.Fatal(err)
+	}
+	_ = model.Word(0)
+}

@@ -1,0 +1,189 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/model"
+)
+
+// OddEvenSort sorts n keys with odd–even transposition: n rounds of
+// disjoint compare-exchanges, EREW, O(n) steps — the classical mesh-
+// friendly sorter, a useful contrast to bitonic's O(log²n) rounds.
+func OddEvenSort(n int, seed int64) Workload {
+	input := randWords(n, seed, 1<<30)
+	return Workload{
+		Name:  fmt.Sprintf("oddevensort(n=%d)", n),
+		Procs: n,
+		Cells: n,
+		Mode:  model.EREW,
+		Setup: func(b model.Backend) { b.LoadCells(0, input) },
+		Program: func(id int) machine.Program {
+			return func(p *machine.Proc) {
+				for round := 0; round < n; round++ {
+					start := round % 2
+					if id%2 == start && id+1 < n {
+						a := p.Read(id)
+						c := p.Read(id + 1)
+						if a > c {
+							p.Write(id, c)
+							p.Write(id+1, a)
+						} else {
+							p.Sync()
+							p.Sync()
+						}
+					} else {
+						p.Sync()
+						p.Sync()
+						p.Sync()
+						p.Sync()
+					}
+				}
+			}
+		},
+		Verify: func(b model.Backend) error {
+			prev := b.ReadCell(0)
+			for i := 1; i < n; i++ {
+				cur := b.ReadCell(i)
+				if cur < prev {
+					return fmt.Errorf("not sorted at %d: %d > %d", i, prev, cur)
+				}
+				prev = cur
+			}
+			return nil
+		},
+	}
+}
+
+// CRCWMax finds the maximum of n inputs in O(1) P-RAM steps using the
+// classical CRCW trick: processor pairs (i,j) concurrently write a
+// "loser" flag, then every non-loser writes itself as the answer. Needs
+// n² processors in the textbook version; this n-processor rendering runs
+// the pair loop in O(n) steps per processor but keeps the concurrent-
+// write pattern, exercising CRCW-Priority combining under heavy fan-in.
+func CRCWMax(n int, seed int64) Workload {
+	input := randWords(n, seed, 1<<20)
+	want := input[0]
+	for _, v := range input[1:] {
+		if v > want {
+			want = v
+		}
+	}
+	// Layout: [0,n) inputs, [n,2n) loser flags, 2n the answer.
+	return Workload{
+		Name:  fmt.Sprintf("crcwmax(n=%d)", n),
+		Procs: n,
+		Cells: 2*n + 1,
+		Mode:  model.CRCWPriority,
+		Setup: func(b model.Backend) { b.LoadCells(0, input) },
+		Program: func(id int) machine.Program {
+			return func(p *machine.Proc) {
+				mine := p.Read(id)
+				// Mark every input beaten by mine (ties: higher index
+				// loses, keeping exactly one winner).
+				for j := 0; j < n; j++ {
+					other := p.Read(j)
+					if other < mine || (other == mine && j > id) {
+						p.Write(n+j, 1)
+					} else {
+						p.Sync()
+					}
+				}
+				flag := p.Read(n + id)
+				if flag == 0 {
+					p.Write(2*n, mine) // the unique non-loser
+				} else {
+					p.Sync()
+				}
+			}
+		},
+		Verify: func(b model.Backend) error {
+			if got := b.ReadCell(2 * n); got != want {
+				return fmt.Errorf("max = %d, want %d", got, want)
+			}
+			return nil
+		},
+	}
+}
+
+// Butterfly performs log n rounds of FFT-style exchange: in round k,
+// processor i combines its cell with that of partner i XOR 2^k (here an
+// add, standing in for a butterfly's complex multiply-add). After all
+// rounds every cell holds the total sum — an all-reduce with the exact
+// communication pattern of FFT/hypercube algorithms. CREW (partners read
+// each other's cells concurrently).
+func Butterfly(n int, seed int64) Workload {
+	input := randWords(n, seed, 1000)
+	var want model.Word
+	for _, v := range input {
+		want += v
+	}
+	return Workload{
+		Name:  fmt.Sprintf("butterfly(n=%d)", n),
+		Procs: n,
+		Cells: 2 * n,
+		Mode:  model.CREW,
+		Setup: func(b model.Backend) { b.LoadCells(0, input) },
+		Program: func(id int) machine.Program {
+			return func(p *machine.Proc) {
+				src, dst := 0, n
+				for bit := 1; bit < n; bit *= 2 {
+					mine := p.Read(src + id)
+					theirs := p.Read(src + (id ^ bit))
+					p.Write(dst+id, mine+theirs)
+					src, dst = dst, src
+				}
+				// Normalize the result back into [0,n) if it ended in
+				// the scratch buffer.
+				rounds := 0
+				for b := 1; b < n; b *= 2 {
+					rounds++
+				}
+				if rounds%2 == 1 {
+					v := p.Read(n + id)
+					p.Write(id, v)
+				}
+			}
+		},
+		Verify: func(b model.Backend) error {
+			for i := 0; i < n; i++ {
+				if got := b.ReadCell(i); got != want {
+					return fmt.Errorf("cell %d = %d, want all-reduce %d", i, got, want)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// Transpose moves an s×s matrix (n = s² cells at [0,n)) to its transpose
+// at [n,2n) with one processor per element — a bandwidth-bound all-to-all
+// permutation whose access pattern is the classic network stress test.
+func Transpose(s int, seed int64) Workload {
+	n := s * s
+	input := randWords(n, seed, 1<<20)
+	return Workload{
+		Name:  fmt.Sprintf("transpose(%dx%d)", s, s),
+		Procs: n,
+		Cells: 2 * n,
+		Mode:  model.EREW,
+		Setup: func(b model.Backend) { b.LoadCells(0, input) },
+		Program: func(id int) machine.Program {
+			return func(p *machine.Proc) {
+				i, j := id/s, id%s
+				v := p.Read(id)
+				p.Write(n+j*s+i, v)
+			}
+		},
+		Verify: func(b model.Backend) error {
+			for i := 0; i < s; i++ {
+				for j := 0; j < s; j++ {
+					if got := b.ReadCell(n + j*s + i); got != input[i*s+j] {
+						return fmt.Errorf("T[%d][%d] = %d, want %d", j, i, got, input[i*s+j])
+					}
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,112 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestOddEvenSortSorts(t *testing.T) {
+	for _, n := range []int{2, 8, 16, 33} {
+		w := OddEvenSort(n, 5)
+		if _, err := RunOn(w, idealFor(w)); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestOddEvenSortDescendingInput(t *testing.T) {
+	const n = 16
+	w := OddEvenSort(n, 5)
+	desc := make([]model.Word, n)
+	for i := range desc {
+		desc[i] = model.Word(n - i)
+	}
+	w.Setup = func(b model.Backend) { b.LoadCells(0, desc) }
+	if _, err := RunOn(w, idealFor(w)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRCWMaxFindsMax(t *testing.T) {
+	for _, n := range []int{2, 8, 17} {
+		w := CRCWMax(n, 7)
+		if _, err := RunOn(w, idealFor(w)); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestCRCWMaxWithTies(t *testing.T) {
+	const n = 8
+	w := CRCWMax(n, 7)
+	same := make([]model.Word, n)
+	for i := range same {
+		same[i] = 42
+	}
+	w.Setup = func(b model.Backend) { b.LoadCells(0, same) }
+	w.Verify = func(b model.Backend) error {
+		if got := b.ReadCell(2 * n); got != 42 {
+			t.Errorf("max of ties = %d, want 42", got)
+		}
+		return nil
+	}
+	if _, err := RunOn(w, idealFor(w)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestButterflyAllReduce(t *testing.T) {
+	for _, n := range []int{2, 4, 16, 64} {
+		w := Butterfly(n, 3)
+		if _, err := RunOn(w, idealFor(w)); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestButterflyStepCount(t *testing.T) {
+	// log2(16) = 4 rounds × 3 steps, plus 2 normalize steps (even rounds →
+	// no normalize; 4 rounds is even so result already in [0,n)).
+	w := Butterfly(16, 3)
+	rep, err := RunOn(w, idealFor(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Steps != 12 {
+		t.Errorf("steps = %d, want 12", rep.Steps)
+	}
+}
+
+func TestTransposeCorrect(t *testing.T) {
+	for _, s := range []int{2, 4, 8} {
+		w := Transpose(s, 9)
+		if _, err := RunOn(w, idealFor(w)); err != nil {
+			t.Errorf("s=%d: %v", s, err)
+		}
+	}
+}
+
+func TestTransposeIsEREWClean(t *testing.T) {
+	w := Transpose(4, 9)
+	rep, err := RunOn(w, idealFor(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Errorf("transpose violated EREW: %v", rep.Violations[0])
+	}
+}
+
+func TestAllIncludesExtras(t *testing.T) {
+	names := map[string]bool{}
+	for _, w := range All(16, 1) {
+		names[w.Name] = true
+	}
+	for _, want := range []string{"oddevensort(n=16)", "butterfly(n=16)",
+		"crcwmax(n=16)", "transpose(4x4)"} {
+		if !names[want] {
+			t.Errorf("All() missing %s (have %v)", want, names)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package xmath provides the small integer/real helpers the analytical
+// formulas of the paper need (logarithms, power fits, ceilings) so that the
+// model packages do not each reimplement them.
+package xmath
+
+import "math"
+
+// CeilDiv returns ceil(a/b) for b > 0.
+func CeilDiv(a, b int) int {
+	if b <= 0 {
+		panic("xmath.CeilDiv: divisor must be positive")
+	}
+	return (a + b - 1) / b
+}
+
+// ILog2 returns floor(log2(x)) for x >= 1.
+func ILog2(x int) int {
+	if x < 1 {
+		panic("xmath.ILog2: argument must be >= 1")
+	}
+	k := 0
+	for x > 1 {
+		x >>= 1
+		k++
+	}
+	return k
+}
+
+// CeilLog2 returns ceil(log2(x)) for x >= 1.
+func CeilLog2(x int) int {
+	if x < 1 {
+		panic("xmath.CeilLog2: argument must be >= 1")
+	}
+	if x == 1 {
+		return 0
+	}
+	return ILog2(x-1) + 1
+}
+
+// CeilPow2 rounds x up to the next power of two (x >= 1).
+func CeilPow2(x int) int {
+	return 1 << CeilLog2(x)
+}
+
+// IsPow2 reports whether x is a positive power of two.
+func IsPow2(x int) bool { return x > 0 && x&(x-1) == 0 }
+
+// ISqrt returns floor(sqrt(x)) for x >= 0.
+func ISqrt(x int) int {
+	if x < 0 {
+		panic("xmath.ISqrt: negative argument")
+	}
+	r := int(math.Sqrt(float64(x)))
+	for r*r > x {
+		r--
+	}
+	for (r+1)*(r+1) <= x {
+		r++
+	}
+	return r
+}
+
+// Log2 is log base 2 for reals.
+func Log2(x float64) float64 { return math.Log2(x) }
+
+// LogLog2 returns log2(log2(x)), the paper's ubiquitous log log factor,
+// clamped below at 1 to stay meaningful for small x.
+func LogLog2(x float64) float64 {
+	l := math.Log2(x)
+	if l < 2 {
+		return 1
+	}
+	return math.Log2(l)
+}
+
+// PowInt returns base**exp for integer exp >= 0 using binary exponentiation.
+func PowInt(base int64, exp int) int64 {
+	r := int64(1)
+	for exp > 0 {
+		if exp&1 == 1 {
+			r *= base
+		}
+		base *= base
+		exp >>= 1
+	}
+	return r
+}
+
+// FitRatio measures how well the series ys (indexed by xs) follows the
+// growth function f by returning max/min of ys[i]/f(xs[i]). A ratio spread
+// close to 1 means the measured curve has the conjectured shape. It is the
+// workhorse of the asymptotic-shape checks in the experiment harness.
+func FitRatio(xs []float64, ys []float64, f func(float64) float64) (lo, hi float64) {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		panic("xmath.FitRatio: need equal, nonempty series")
+	}
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for i := range xs {
+		d := f(xs[i])
+		if d == 0 {
+			panic("xmath.FitRatio: growth function vanished")
+		}
+		r := ys[i] / d
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+	}
+	return lo, hi
+}
+
+// GeoMean returns the geometric mean of positive values.
+func GeoMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vals {
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(vals)))
+}

@@ -1,0 +1,114 @@
+package xmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 1, 0}, {1, 1, 1}, {5, 2, 3}, {6, 2, 3}, {7, 2, 4}, {100, 7, 15},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCeilDivPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("CeilDiv(1,0) did not panic")
+		}
+	}()
+	CeilDiv(1, 0)
+}
+
+func TestILog2AndCeilLog2(t *testing.T) {
+	cases := []struct{ x, floor, ceil int }{
+		{1, 0, 0}, {2, 1, 1}, {3, 1, 2}, {4, 2, 2}, {5, 2, 3},
+		{1023, 9, 10}, {1024, 10, 10}, {1025, 10, 11},
+	}
+	for _, c := range cases {
+		if got := ILog2(c.x); got != c.floor {
+			t.Errorf("ILog2(%d) = %d, want %d", c.x, got, c.floor)
+		}
+		if got := CeilLog2(c.x); got != c.ceil {
+			t.Errorf("CeilLog2(%d) = %d, want %d", c.x, got, c.ceil)
+		}
+	}
+}
+
+func TestCeilPow2AndIsPow2(t *testing.T) {
+	if CeilPow2(1) != 1 || CeilPow2(3) != 4 || CeilPow2(4) != 4 || CeilPow2(33) != 64 {
+		t.Error("CeilPow2 wrong")
+	}
+	for _, x := range []int{1, 2, 4, 1024} {
+		if !IsPow2(x) {
+			t.Errorf("IsPow2(%d) = false", x)
+		}
+	}
+	for _, x := range []int{0, -4, 3, 12, 1023} {
+		if IsPow2(x) {
+			t.Errorf("IsPow2(%d) = true", x)
+		}
+	}
+}
+
+func TestISqrtExhaustiveSmall(t *testing.T) {
+	for x := 0; x <= 10000; x++ {
+		r := ISqrt(x)
+		if r*r > x || (r+1)*(r+1) <= x {
+			t.Fatalf("ISqrt(%d) = %d", x, r)
+		}
+	}
+}
+
+func TestISqrtProperty(t *testing.T) {
+	f := func(v uint32) bool {
+		x := int(v % 1_000_000)
+		r := ISqrt(x)
+		return r*r <= x && (r+1)*(r+1) > x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowInt(t *testing.T) {
+	if PowInt(2, 10) != 1024 || PowInt(3, 0) != 1 || PowInt(5, 3) != 125 {
+		t.Error("PowInt wrong")
+	}
+}
+
+func TestLogLog2Clamp(t *testing.T) {
+	if LogLog2(2) != 1 {
+		t.Errorf("LogLog2(2) = %v, want clamp 1", LogLog2(2))
+	}
+	if got := LogLog2(65536); math.Abs(got-4) > 1e-12 {
+		t.Errorf("LogLog2(65536) = %v, want 4", got)
+	}
+}
+
+func TestFitRatio(t *testing.T) {
+	xs := []float64{64, 256, 1024, 4096}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * math.Log2(x) // exactly 3·log2(n)
+	}
+	lo, hi := FitRatio(xs, ys, math.Log2)
+	if math.Abs(lo-3) > 1e-9 || math.Abs(hi-3) > 1e-9 {
+		t.Errorf("FitRatio = [%v, %v], want [3,3]", lo, hi)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 100}); math.Abs(got-10) > 1e-9 {
+		t.Errorf("GeoMean = %v, want 10", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) != 0")
+	}
+}

@@ -1,0 +1,94 @@
+package pramsim_test
+
+import (
+	"strings"
+	"testing"
+
+	pramsim "repro"
+	"repro/internal/workloads"
+)
+
+// TestFacadeConstructors builds every machine through the public API and
+// runs the same trivial program on each.
+func TestFacadeConstructors(t *testing.T) {
+	const n = 16
+	backends := []pramsim.Backend{
+		pramsim.NewIdeal(n, n*n, pramsim.CRCWPriority),
+		pramsim.NewMPC(n, pramsim.MPCConfig{}),
+		pramsim.NewDMMPC(n, pramsim.DMMPCConfig{}),
+		pramsim.NewMOT2D(n, pramsim.MOTConfig{}),
+		pramsim.NewLuccio(n, pramsim.MOTConfig{}),
+		pramsim.NewSchuster(n, pramsim.SchusterConfig{}),
+		pramsim.NewHashed(n, pramsim.HashedConfig{}),
+	}
+	for _, b := range backends {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			rep := pramsim.Run(b, func(p *pramsim.Proc) {
+				p.Write(p.ID(), pramsim.Word(p.ID()*2))
+			})
+			if err := rep.Err(); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				if got := b.ReadCell(i); got != pramsim.Word(i*2) {
+					t.Fatalf("cell %d = %d, want %d", i, got, i*2)
+				}
+			}
+		})
+	}
+}
+
+func TestFacadeRunEach(t *testing.T) {
+	b := pramsim.NewDMMPC(8, pramsim.DMMPCConfig{})
+	rep := pramsim.RunEach(b, func(id int) pramsim.Program {
+		return func(p *pramsim.Proc) {
+			p.Write(id, pramsim.Word(100+id))
+		}
+	})
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if b.ReadCell(3) != 103 {
+		t.Errorf("cell 3 = %d", b.ReadCell(3))
+	}
+}
+
+func TestFacadeRunWorkload(t *testing.T) {
+	w := workloads.PrefixSum(16, 7)
+	b := pramsim.NewDMMPC(w.Procs, pramsim.DMMPCConfig{Mode: w.Mode})
+	rep, err := pramsim.RunWorkload(w, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Steps == 0 || rep.Phases == 0 {
+		t.Errorf("degenerate report: %+v", rep)
+	}
+}
+
+func TestFacadeNamesDescriptive(t *testing.T) {
+	checks := map[string]pramsim.Backend{
+		"DMMPC": pramsim.NewDMMPC(8, pramsim.DMMPCConfig{}),
+		"2DMOT": pramsim.NewMOT2D(8, pramsim.MOTConfig{}),
+		"MPC":   pramsim.NewMPC(8, pramsim.MPCConfig{}),
+	}
+	for frag, b := range checks {
+		if !strings.Contains(b.Name(), frag) {
+			t.Errorf("name %q lacks %q", b.Name(), frag)
+		}
+	}
+}
+
+// TestFacadeModesExported sanity-checks the re-exported constants map to
+// distinct modes.
+func TestFacadeModesExported(t *testing.T) {
+	modes := []pramsim.Mode{pramsim.EREW, pramsim.CREW, pramsim.CRCWPriority,
+		pramsim.CRCWCommon, pramsim.CRCWArbitrary}
+	seen := map[pramsim.Mode]bool{}
+	for _, m := range modes {
+		if seen[m] {
+			t.Fatalf("duplicate mode %v", m)
+		}
+		seen[m] = true
+	}
+}
