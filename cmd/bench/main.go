@@ -1,0 +1,211 @@
+// Command bench runs the E-family benchmarks programmatically and emits a
+// BENCH_<date>.json snapshot: wall-clock ns/op, allocs/op and B/op per
+// benchmark, plus the simulated-time counters (phases, network cycles, copy
+// accesses) of one representative step. The JSON seeds the repo's
+// performance trajectory — successive PRs append snapshots and diff them.
+//
+// Usage:
+//
+//	go run ./cmd/bench [-out DIR] [-benchtime 1s]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/mot"
+	"repro/internal/mpc"
+	"repro/internal/quorum"
+
+	"repro/internal/memmap"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	// Simulated-time counters of one representative simulated step
+	// (zero for micro-benchmarks without a step structure).
+	SimTime       int64 `json:"simTime,omitempty"`
+	SimPhases     int   `json:"simPhases,omitempty"`
+	SimCycles     int64 `json:"simCycles,omitempty"`
+	SimCopyAccess int64 `json:"simCopyAccesses,omitempty"`
+}
+
+// Snapshot is the emitted file layout.
+type Snapshot struct {
+	Date      string   `json:"date"`
+	GoVersion string   `json:"goVersion"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"numCPU"`
+	Results   []Result `json:"results"`
+	// Baseline carries the pre-optimization (seed) numbers of the two
+	// acceptance benchmarks for easy speedup computation.
+	Baseline map[string]float64 `json:"baselineNsPerOp,omitempty"`
+}
+
+// seedBaseline records the seed-tree numbers measured before the
+// zero-allocation hot-path rewrite (Xeon 2.10GHz, go1.24, -benchtime=2s).
+var seedBaseline = map[string]float64{
+	"E3DMMPCStep/n=1024": 1828312,
+	"E5MOT2DStep/n=256":  13714533,
+}
+
+func permBatch(n int, seed int64) model.Batch {
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	batch := model.NewBatch(n)
+	for i := 0; i < n; i++ {
+		batch[i] = model.Request{Proc: i, Op: model.OpRead, Addr: perm[i]}
+	}
+	return batch
+}
+
+// measure runs fn as a benchmark and captures one representative report.
+func measure(name string, back model.Backend, batch model.Batch) Result {
+	rep := back.ExecuteStep(batch) // warm the arenas; grab sim counters
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if r := back.ExecuteStep(batch); r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	})
+	if br.N == 0 {
+		// b.Fatal inside testing.Benchmark yields a zero result instead of
+		// aborting; don't let it corrupt the snapshot silently.
+		fmt.Fprintf(os.Stderr, "benchmark %s failed (see error above)\n", name)
+		os.Exit(1)
+	}
+	return Result{
+		Name:          name,
+		Iterations:    br.N,
+		NsPerOp:       float64(br.NsPerOp()),
+		AllocsPerOp:   br.AllocsPerOp(),
+		BytesPerOp:    br.AllocedBytesPerOp(),
+		SimTime:       rep.Time,
+		SimPhases:     rep.Phases,
+		SimCycles:     rep.NetworkCycles,
+		SimCopyAccess: rep.CopyAccesses,
+	}
+}
+
+// measureMicro runs a plain function benchmark.
+func measureMicro(name string, fn func()) Result {
+	fn() // warm the arenas
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fn()
+		}
+	})
+	if br.N == 0 {
+		fmt.Fprintf(os.Stderr, "benchmark %s failed\n", name)
+		os.Exit(1)
+	}
+	return Result{
+		Name:        name,
+		Iterations:  br.N,
+		NsPerOp:     float64(br.NsPerOp()),
+		AllocsPerOp: br.AllocsPerOp(),
+		BytesPerOp:  br.AllocedBytesPerOp(),
+	}
+}
+
+func main() {
+	testing.Init() // register test.* flags so test.benchtime is settable
+	out := flag.String("out", ".", "directory for the BENCH_<date>.json snapshot")
+	benchtime := flag.Duration("benchtime", time.Second, "target duration per benchmark")
+	flag.Parse()
+	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtime:", err)
+		os.Exit(1)
+	}
+
+	snap := Snapshot{
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Baseline:  seedBaseline,
+	}
+
+	for _, n := range []int{64, 256, 1024} {
+		dm := core.NewDMMPC(n, core.Config{})
+		snap.Results = append(snap.Results,
+			measure(fmt.Sprintf("E3DMMPCStep/n=%d", n), dm, permBatch(n, 5)))
+	}
+	for _, n := range []int{64, 256, 1024} {
+		m := mpc.New(n, mpc.Config{})
+		snap.Results = append(snap.Results,
+			measure(fmt.Sprintf("E4MPCStep/n=%d", n), m, permBatch(n, 5)))
+	}
+	for _, n := range []int{16, 64, 256} {
+		mt := core.NewMOT2D(n, core.MOTConfig{})
+		snap.Results = append(snap.Results,
+			measure(fmt.Sprintf("E5MOT2DStep/n=%d", n), mt, permBatch(n, 5)))
+	}
+	for _, n := range []int{16, 64} {
+		lu := core.NewLuccio(n, core.MOTConfig{})
+		snap.Results = append(snap.Results,
+			measure(fmt.Sprintf("E5LuccioStep/n=%d", n), lu, permBatch(n, 5)))
+	}
+
+	// Substrate micro-benchmarks: the two zero-alloc hot paths.
+	{
+		const n = 256
+		p := memmap.LemmaTwo(n, 2, 1)
+		st := quorum.NewStore(memmap.Generate(p, 11))
+		eng := quorum.NewEngine(st, quorum.NewCompleteBipartite(), n)
+		reqs := make([]quorum.Request, n)
+		for i := range reqs {
+			reqs[i] = quorum.Request{Proc: i, Var: i, Write: true, Value: 1}
+		}
+		snap.Results = append(snap.Results, measureMicro("QuorumWriteBatch/n=256", func() {
+			if eng.ExecuteBatch(reqs).Stalled {
+				panic("stalled")
+			}
+		}))
+	}
+	{
+		nw := mot.NewNetwork(1024, mot.ModulesAtLeaves, mot.Config{})
+		attempts := make([]quorum.Attempt, 256)
+		for i := range attempts {
+			attempts[i] = quorum.Attempt{Proc: i, Module: (i * 37) % 1024, Var: i, Copy: 0}
+		}
+		snap.Results = append(snap.Results, measureMicro("MOTNetworkPhase/side=1024", func() {
+			nw.RoutePhase(attempts)
+		}))
+	}
+
+	path := filepath.Join(*out, "BENCH_"+snap.Date+".json")
+	data, err := json.MarshalIndent(snap, "", " ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marshal:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "write:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", path)
+	for _, r := range snap.Results {
+		line := fmt.Sprintf("%-28s %12.0f ns/op %8d allocs/op", r.Name, r.NsPerOp, r.AllocsPerOp)
+		if base, ok := seedBaseline[r.Name]; ok {
+			line += fmt.Sprintf("   %.2fx vs seed", base/r.NsPerOp)
+		}
+		fmt.Println(line)
+	}
+}

@@ -138,7 +138,13 @@ func (mem *Memory) FieldOps() int64 { return mem.fieldOps }
 
 // ExecuteStep implements model.Backend.
 func (mem *Memory) ExecuteStep(batch model.Batch) model.StepReport {
-	rep := model.StepReport{Values: make(map[int]model.Word, batch.Reads())}
+	need := len(batch)
+	for _, r := range batch {
+		if r.Op != model.OpNone && r.Proc >= need {
+			need = r.Proc + 1 // sparse batch from a direct caller
+		}
+	}
+	rep := model.StepReport{Values: make([]model.Word, need)}
 	rep.Err = model.CheckConflicts(batch, mem.mode)
 
 	// Group the step's accesses by block.

@@ -1,0 +1,36 @@
+package ideal
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// TestIdealExecuteStepZeroAllocs: the reference machine's step loop reuses
+// its values, contention and conflict-check buffers and commits writes
+// without per-address maps, so steady state stays off the heap in every
+// conflict mode (EREW exercises the checker's scratch path).
+func TestIdealExecuteStepZeroAllocs(t *testing.T) {
+	for _, mode := range []model.Mode{model.CRCWPriority, model.EREW} {
+		t.Run(mode.String(), func(t *testing.T) {
+			const n = 64
+			p := New(n, 2*n, mode)
+			batch := model.NewBatch(n)
+			for i := 0; i < n; i++ {
+				if i%2 == 0 {
+					batch[i] = model.Request{Proc: i, Op: model.OpRead, Addr: i} // distinct cells: EREW-legal
+				} else {
+					batch[i] = model.Request{Proc: i, Op: model.OpWrite, Addr: n + i, Value: model.Word(i)}
+				}
+			}
+			for i := 0; i < 3; i++ {
+				p.ExecuteStep(batch)
+			}
+			if avg := testing.AllocsPerRun(20, func() {
+				p.ExecuteStep(batch)
+			}); avg != 0 {
+				t.Errorf("ideal ExecuteStep allocates %.1f/op in steady state, want 0", avg)
+			}
+		})
+	}
+}

@@ -8,17 +8,22 @@ package ideal
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/model"
 )
 
 // PRAM is the ideal shared-memory machine.
 type PRAM struct {
-	n    int
-	mode model.Mode
-	mem  model.SliceStore
+	n     int
+	mode  model.Mode
+	mem   model.SliceStore
+	store model.Store // mem boxed once (boxing a slice per step allocates)
 
-	steps int64 // number of executed steps, for reports
+	steps   int64        // number of executed steps, for reports
+	vals    []model.Word // reusable StepReport.Values buffer
+	addrs   []model.Addr // reusable contention-count scratch
+	checker model.ConflictChecker
 }
 
 // New returns an ideal P-RAM with n processors and m shared cells operating
@@ -27,7 +32,9 @@ func New(n, m int, mode model.Mode) *PRAM {
 	if n <= 0 || m <= 0 {
 		panic(fmt.Sprintf("ideal.New: need n, m > 0 (got n=%d m=%d)", n, m))
 	}
-	return &PRAM{n: n, mode: mode, mem: make(model.SliceStore, m)}
+	p := &PRAM{n: n, mode: mode, mem: make(model.SliceStore, m)}
+	p.store = p.mem
+	return p
 }
 
 // Name implements model.Backend.
@@ -48,9 +55,10 @@ func (p *PRAM) Steps() int64 { return p.steps }
 // ExecuteStep implements model.Backend. On the ideal P-RAM every step costs
 // exactly one time unit regardless of the access pattern.
 func (p *PRAM) ExecuteStep(batch model.Batch) model.StepReport {
-	vals, err := model.ResolveStep(p.mem, batch, p.mode)
+	vals, err := p.checker.ResolveStepInto(p.vals, p.store, batch, p.mode)
+	p.vals = vals
 	p.steps++
-	contention := maxCellContention(batch)
+	contention := p.maxCellContention(batch)
 	return model.StepReport{
 		Values:           vals,
 		Time:             1,
@@ -70,17 +78,25 @@ func (p *PRAM) LoadCells(base model.Addr, vals []model.Word) {
 
 // maxCellContention reports the largest number of requests aimed at a single
 // cell, a useful diagnostic even though the ideal machine does not charge
-// for it.
-func maxCellContention(batch model.Batch) int {
-	counts := make(map[model.Addr]int)
-	best := 0
+// for it. It counts by sorting a reusable address scratch, keeping the step
+// loop allocation-free.
+func (p *PRAM) maxCellContention(batch model.Batch) int {
+	addrs := p.addrs[:0]
 	for _, r := range batch {
-		if r.Op == model.OpNone {
-			continue
+		if r.Op != model.OpNone {
+			addrs = append(addrs, r.Addr)
 		}
-		counts[r.Addr]++
-		if counts[r.Addr] > best {
-			best = counts[r.Addr]
+	}
+	p.addrs = addrs
+	slices.Sort(addrs)
+	best, run := 0, 0
+	for i, a := range addrs {
+		if i == 0 || a != addrs[i-1] {
+			run = 0
+		}
+		run++
+		if run > best {
+			best = run
 		}
 	}
 	return best

@@ -78,13 +78,16 @@ func (r *RunReport) Err() error {
 	return nil
 }
 
-// Machine couples n processor goroutines to a backend.
+// Machine couples n processor goroutines to a backend. A Machine is
+// single-use: one Run/RunEach consumes it (its channels carry the residue of
+// the finished run), so a second Run panics instead of deadlocking.
 type Machine struct {
 	backend model.Backend
 	n       int
 
-	subCh   chan submission
-	replyCh []chan model.Word
+	subCh    chan submission
+	replyCh  []chan model.Word
+	consumed bool
 }
 
 type submission struct {
@@ -127,8 +130,14 @@ func (m *Machine) Run(program Program) *RunReport {
 }
 
 // RunEach executes a per-processor program selected by pick(id). It blocks
-// until every processor has halted.
+// until every processor has halted. Calling it (or Run) a second time on
+// the same Machine panics: the step channels of a consumed machine are
+// stale, and reusing them would deadlock the coordinator.
 func (m *Machine) RunEach(pick func(id int) Program) *RunReport {
+	if m.consumed {
+		panic("machine.Machine: Run/RunEach called on a consumed machine; create a new Machine with machine.New for each run")
+	}
+	m.consumed = true
 	for i := 0; i < m.n; i++ {
 		go m.runProc(i, pick(i))
 	}

@@ -135,9 +135,12 @@ func (b Batch) Active() int { return b.Reads() + b.Writes() }
 // StepReport carries the simulated cost of executing one P-RAM step,
 // together with the values satisfied reads produced.
 type StepReport struct {
-	// Values maps processor id to the word its read returned. Only
-	// processors that issued OpRead appear.
-	Values map[int]Word
+	// Values holds, indexed by processor id, the word each processor's
+	// read returned; entries of processors that did not read are zero.
+	// Backends may reuse the backing slice across steps, so the contents
+	// are only valid until the next ExecuteStep call on the same backend —
+	// copy them if they must outlive the step.
+	Values []Word
 	// Time is the simulated duration of the step in the backend's native
 	// unit (1 for the ideal P-RAM, phases for module machines, network
 	// cycles for the 2DMOT).

@@ -1,6 +1,10 @@
 package model
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+	"sort"
+)
 
 // Store is the minimal mutable-memory interface the semantic resolver needs.
 type Store interface {
@@ -20,7 +24,8 @@ func (s SliceStore) Set(a Addr, v Word) { s[a] = v }
 // ResolveStep computes the semantic outcome of one P-RAM step against store:
 // every read receives the pre-step value of its cell, and writes are
 // committed afterwards under the given conflict Mode. It returns the read
-// values and the first conflict-discipline violation detected (nil if the
+// values densely indexed by processor id (zero for processors that did not
+// read) and the first conflict-discipline violation detected (nil if the
 // batch is legal under mode). Execution always proceeds; violations are
 // resolved by Priority rules so that simulation can continue and tests can
 // observe the error.
@@ -28,17 +33,77 @@ func (s SliceStore) Set(a Addr, v Word) { s[a] = v }
 // Centralizing this logic guarantees that every backend — however exotic its
 // cost model — agrees exactly on memory semantics, which is the correctness
 // invariant the property tests check.
-func ResolveStep(store Store, batch Batch, mode Mode) (map[int]Word, error) {
-	values := make(map[int]Word, batch.Reads())
+func ResolveStep(store Store, batch Batch, mode Mode) ([]Word, error) {
+	return ResolveStepInto(nil, store, batch, mode)
+}
+
+// ResolveStepInto is ResolveStep with a caller-supplied values buffer. The
+// buffer is grown as needed and returned resized to len(batch), or further
+// if some request's Proc exceeds the batch length (sparse batches from
+// direct callers). Under EREW/CREW/CRCW-Common the conflict check still
+// allocates scratch per call; steady-state backends use
+// ConflictChecker.ResolveStepInto, which reuses it.
+func ResolveStepInto(values []Word, store Store, batch Batch, mode Mode) ([]Word, error) {
+	var c ConflictChecker
+	return c.ResolveStepInto(values, store, batch, mode)
+}
+
+// ResolveStepInto is the allocation-free (in steady state) form of the
+// package-level ResolveStepInto: the checker's scratch is reused across
+// steps, so backends that own a ConflictChecker stay off the heap under
+// every conflict mode.
+func (c *ConflictChecker) ResolveStepInto(values []Word, store Store, batch Batch, mode Mode) ([]Word, error) {
+	need := len(batch)
+	ascending := true // writer procs strictly ascending in batch order?
+	prevWriter := -1
+	for _, r := range batch {
+		if r.Op == OpNone {
+			continue
+		}
+		if r.Proc >= need {
+			need = r.Proc + 1
+		}
+		if r.Op == OpWrite {
+			if r.Proc <= prevWriter {
+				ascending = false
+			}
+			prevWriter = r.Proc
+		}
+	}
+	if cap(values) < need {
+		values = make([]Word, need)
+	}
+	values = values[:need]
+	clear(values)
 	// Reads observe pre-step state.
 	for _, r := range batch {
 		if r.Op == OpRead {
 			values[r.Proc] = store.Get(r.Addr)
 		}
 	}
-	err := CheckConflicts(batch, mode)
-	// Commit writes. Iterating in ascending processor id and letting the
-	// FIRST writer win implements Priority; Arbitrary keeps the last.
+	err := c.Check(batch, mode)
+	// Commit writes. Letting the LOWEST processor id win implements
+	// Priority; Arbitrary keeps the highest. Batches normally list writers
+	// in ascending processor order (Batch is indexed by processor), so the
+	// winner per address is just the last Set in the right direction — no
+	// per-address map, keeping steady-state steps allocation-free.
+	if ascending {
+		if mode == CRCWArbitrary {
+			for _, r := range batch { // forward: highest proc writes last
+				if r.Op == OpWrite {
+					store.Set(r.Addr, r.Value)
+				}
+			}
+		} else {
+			for i := len(batch) - 1; i >= 0; i-- { // reverse: lowest proc writes last
+				if r := batch[i]; r.Op == OpWrite {
+					store.Set(r.Addr, r.Value)
+				}
+			}
+		}
+		return values, err
+	}
+	// Rare path: direct callers with out-of-order writer procs.
 	type pw struct {
 		proc int
 		val  Word
@@ -72,62 +137,120 @@ func ResolveStep(store Store, batch Batch, mode Mode) (map[int]Word, error) {
 // returns a *ConflictError describing the first violation found (scanning
 // addresses in ascending order for determinism), or nil.
 func CheckConflicts(batch Batch, mode Mode) error {
-	type touch struct {
-		readers []int
-		writers []int
-		vals    []Word
+	var c ConflictChecker
+	return c.Check(batch, mode)
+}
+
+// ConflictRec is one active request flattened for sorted address scans —
+// the record format shared by the conflict checker and the quorum backend's
+// dedup pass, so one flatten+sort serves both.
+type ConflictRec struct {
+	Addr  Addr
+	Proc  int
+	Val   Word
+	Write bool
+}
+
+// ConflictChecker validates conflict disciplines without allocating in
+// steady state: the flattened request records are kept in a reusable scratch
+// slice and grouped by a single sort instead of per-address maps. A zero
+// ConflictChecker is ready to use; it is not safe for concurrent use.
+type ConflictChecker struct {
+	recs []ConflictRec
+}
+
+// Check validates batch against mode exactly like CheckConflicts. Under
+// CRCW-Priority and CRCW-Arbitrary every batch is legal and the check is
+// free.
+func (c *ConflictChecker) Check(batch Batch, mode Mode) error {
+	if mode == CRCWPriority || mode == CRCWArbitrary {
+		return nil // always legal; keep the hot path free
 	}
-	byAddr := make(map[Addr]*touch)
+	recs := c.recs[:0]
 	for _, r := range batch {
 		if r.Op == OpNone {
 			continue
 		}
-		t := byAddr[r.Addr]
-		if t == nil {
-			t = &touch{}
-			byAddr[r.Addr] = t
-		}
-		if r.Op == OpRead {
-			t.readers = append(t.readers, r.Proc)
-		} else {
-			t.writers = append(t.writers, r.Proc)
-			t.vals = append(t.vals, r.Value)
-		}
+		recs = append(recs, ConflictRec{Addr: r.Addr, Proc: r.Proc, Val: r.Value, Write: r.Op == OpWrite})
 	}
-	addrs := make([]Addr, 0, len(byAddr))
-	for a := range byAddr {
-		addrs = append(addrs, a)
+	c.recs = recs
+	slices.SortFunc(recs, func(a, b ConflictRec) int {
+		if a.Addr != b.Addr {
+			return cmp.Compare(a.Addr, b.Addr)
+		}
+		return cmp.Compare(a.Proc, b.Proc)
+	})
+	return CheckSortedRecords(recs, mode)
+}
+
+// CheckSortedRecords validates flattened records that are already grouped
+// by ascending address (any record order within an address group is
+// accepted — error Procs lists are sorted independently). Callers that
+// maintain such a sorted record slice anyway (the quorum backend's dedup
+// pass) use this to avoid flattening and sorting the batch twice.
+func CheckSortedRecords(recs []ConflictRec, mode Mode) error {
+	if mode == CRCWPriority || mode == CRCWArbitrary {
+		return nil
 	}
-	sort.Ints(addrs)
-	for _, a := range addrs {
-		t := byAddr[a]
-		sort.Ints(t.readers)
-		sort.Ints(t.writers)
-		switch mode {
-		case EREW:
-			if len(t.readers)+len(t.writers) > 1 {
-				procs := append(append([]int{}, t.readers...), t.writers...)
-				sort.Ints(procs)
-				return &ConflictError{Mode: mode, Addr: a, Procs: procs, Kind: "concurrent access"}
+	for i := 0; i < len(recs); {
+		j := i
+		for j < len(recs) && recs[j].Addr == recs[i].Addr {
+			j++
+		}
+		if err := checkGroup(recs[i:j], mode); err != nil {
+			return err
+		}
+		i = j
+	}
+	return nil
+}
+
+// checkGroup validates the accesses to one address.
+func checkGroup(group []ConflictRec, mode Mode) error {
+	switch mode {
+	case EREW:
+		if len(group) > 1 {
+			return &ConflictError{Mode: mode, Addr: group[0].Addr,
+				Procs: groupProcs(group, false), Kind: "concurrent access"}
+		}
+	case CREW:
+		writers := groupProcs(group, true)
+		if len(writers) > 1 {
+			return &ConflictError{Mode: mode, Addr: group[0].Addr,
+				Procs: writers, Kind: "concurrent write"}
+		}
+		if len(writers) == 1 && len(group) > 1 {
+			return &ConflictError{Mode: mode, Addr: group[0].Addr,
+				Procs: groupProcs(group, false), Kind: "read/write collision"}
+		}
+	case CRCWCommon:
+		var first Word
+		seen := false
+		for _, g := range group {
+			if !g.Write {
+				continue
 			}
-		case CREW:
-			if len(t.writers) > 1 {
-				return &ConflictError{Mode: mode, Addr: a, Procs: t.writers, Kind: "concurrent write"}
+			if !seen {
+				first, seen = g.Val, true
+			} else if g.Val != first {
+				return &ConflictError{Mode: mode, Addr: group[0].Addr,
+					Procs: groupProcs(group, true), Kind: "disagreeing common write"}
 			}
-			if len(t.writers) == 1 && len(t.readers) > 0 {
-				procs := append(append([]int{}, t.readers...), t.writers...)
-				sort.Ints(procs)
-				return &ConflictError{Mode: mode, Addr: a, Procs: procs, Kind: "read/write collision"}
-			}
-		case CRCWCommon:
-			for i := 1; i < len(t.vals); i++ {
-				if t.vals[i] != t.vals[0] {
-					return &ConflictError{Mode: mode, Addr: a, Procs: t.writers, Kind: "disagreeing common write"}
-				}
-			}
-		case CRCWPriority, CRCWArbitrary:
-			// Always legal.
 		}
 	}
 	return nil
+}
+
+// groupProcs extracts the processor ids of a group, optionally restricted
+// to writers, in ascending order. Only called on error paths.
+func groupProcs(group []ConflictRec, writersOnly bool) []int {
+	procs := make([]int, 0, len(group))
+	for _, g := range group {
+		if writersOnly && !g.Write {
+			continue
+		}
+		procs = append(procs, g.Proc)
+	}
+	sort.Ints(procs)
+	return procs
 }

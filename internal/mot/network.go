@@ -1,7 +1,8 @@
 package mot
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"repro/internal/quorum"
 )
@@ -52,13 +53,55 @@ type Stats struct {
 // Network is a 2DMOT with a synchronous packet switch fabric. It implements
 // quorum.Interconnect, so it slots into the quorum engine exactly where the
 // complete bipartite graph of the DMMPC does — same protocol, real network.
+//
+// The simulation is allocation-free in steady state. Paths are materialized
+// as dense edge indices (Topology.denseEdgeID) into a shared per-phase
+// arena; per-cycle edge contention is a claim-set stamped with the global
+// cycle counter (which never resets, so the set never needs clearing), and
+// module service/load counters live in small phase-interned tables. Packets
+// are pooled by value, and each cycle iterates a compacted active-packet
+// list instead of rescanning done packets. The invariant is locked in by
+// TestRoutePhaseZeroAllocs; behavior is locked to the reference
+// implementation by the golden-trace tests. The arena makes a Network
+// single-threaded: one phase at a time.
 type Network struct {
 	topo Topology
 	cfg  Config
 
-	clock    int64            // global cycle counter, never reset
-	edgeUsed map[uint64]int64 // directed edge -> last cycle it carried a packet
-	stats    Stats
+	clock int64 // global cycle counter, never reset
+	stats Stats
+
+	phase int64 // RoutePhase invocation counter; stamps the intern tables
+
+	// Edge claim-set: cycle-stamped open addressing keyed by dense edge
+	// index. A slot whose cycle differs from the current one is free, so
+	// the table never needs clearing — per cycle it holds at most one
+	// entry per live packet.
+	edgeSlots []edgeSlot
+	edgeMask  int
+
+	// Module interning: grid module id -> phase-local id, open addressing.
+	modSlotKey   []int32
+	modSlotVal   []int32
+	modSlotPhase []int64
+	modMask      int
+	modCount     int32
+	modLoad      []int32 // per phase-local module: attempts this phase
+	modServed    []int64 // per phase-local module: cycle stamp of service count
+	modServedCnt []int32 // per phase-local module: services this cycle
+
+	// Packet pool and per-phase buffers.
+	pkts    []packet
+	active  []int32 // live packet indices in priority order, compacted per cycle
+	order   []int32 // processing order when attempts arrive unsorted
+	pathBuf []int32 // all packet paths, dense edge indices
+	granted []bool
+}
+
+// edgeSlot is one entry of the cycle-stamped edge claim-set.
+type edgeSlot struct {
+	cycle int64
+	key   int32
 }
 
 // NewNetwork builds a 2DMOT network simulator over an a×a grid.
@@ -69,11 +112,11 @@ func NewNetwork(side int, pl Placement, cfg Config) *Network {
 	if pl == ModulesAtLeaves && cfg.RowOf == nil {
 		cfg.RowOf = func(v, cp int) int { return int(mix64(uint64(v)*31+uint64(cp))) & (side - 1) }
 	}
-	return &Network{
-		topo:     NewTopology(side, pl),
-		cfg:      cfg,
-		edgeUsed: make(map[uint64]int64),
+	topo := NewTopology(side, pl)
+	if int64(topo.DenseEdgeSpace()) > int64(1)<<31-1 {
+		panic("mot: grid side too large for 32-bit dense edge indices")
 	}
+	return &Network{topo: topo, cfg: cfg}
 }
 
 // Topology returns the network's shape.
@@ -96,17 +139,92 @@ func (nw *Network) SetBandwidth(perPhase int) {
 // Stats returns accumulated counters.
 func (nw *Network) Stats() Stats { return nw.stats }
 
-// packet is one in-flight copy access.
+// packet is one in-flight copy access. Paths live in the network's shared
+// path arena; packets are pooled by value and never escape to the heap.
 type packet struct {
-	attempt int // index into the phase's attempt slice
-	prio    int // processor id: lower wins collisions
-	path    []uint64
-	pos     int // next edge index
-	service int // path index at which the module serves the packet
+	attempt int32 // index into the phase's attempt slice
+	prio    int32 // processor id: lower wins collisions
+	pathOff int32 // offset of this packet's path in the arena
+	pathLen int32
+	pos     int32 // next edge index within the path
+	service int32 // path index at which the module serves the packet
+	module  int32 // phase-local module id for service accounting
 	served  bool
-	module  int // module key for service accounting
-	done    bool
-	failed  bool
+}
+
+// ensureTables sizes the claim-set, intern tables and per-phase buffers for
+// a phase of k attempts, growing (and only growing) the reusable arenas.
+func (nw *Network) ensureTables(k int) {
+	// Per cycle at most one edge claim per live packet, so 4k slots keep
+	// the per-cycle load factor of the claim-set under 25%.
+	need := 4 * k
+	if nw.edgeMask == 0 || len(nw.edgeSlots) < need {
+		sz := 64
+		for sz < need {
+			sz *= 2
+		}
+		nw.edgeSlots = make([]edgeSlot, sz)
+		nw.edgeMask = sz - 1
+	}
+
+	needMod := 2 * k
+	if nw.modMask == 0 || len(nw.modSlotKey) < needMod {
+		sz := 16
+		for sz < needMod {
+			sz *= 2
+		}
+		nw.modSlotKey = make([]int32, sz)
+		nw.modSlotVal = make([]int32, sz)
+		nw.modSlotPhase = make([]int64, sz)
+		nw.modMask = sz - 1
+	}
+	if cap(nw.modLoad) < k {
+		nw.modLoad = make([]int32, k)
+		nw.modServed = make([]int64, k)
+		nw.modServedCnt = make([]int32, k)
+	}
+	nw.modLoad = nw.modLoad[:k]
+	nw.modServed = nw.modServed[:k]
+	nw.modServedCnt = nw.modServedCnt[:k]
+}
+
+// claimEdge records that a packet crosses the given edge this cycle.
+// It reports false if a (higher-priority) packet already claimed the edge
+// this cycle. Slots stamped with an older cycle count as free, so the set
+// clears itself as the clock advances.
+func (nw *Network) claimEdge(key int32, cycle int64) bool {
+	h := int((uint64(uint32(key))*0x9E3779B97F4A7C15)>>40) & nw.edgeMask
+	for {
+		s := &nw.edgeSlots[h]
+		if s.cycle != cycle {
+			s.cycle = cycle
+			s.key = key
+			return true
+		}
+		if s.key == key {
+			return false
+		}
+		h = (h + 1) & nw.edgeMask
+	}
+}
+
+// internModule maps a grid module id to a compact phase-local id.
+func (nw *Network) internModule(key int32) int32 {
+	h := int((uint64(uint32(key))*0x9E3779B97F4A7C15)>>40) & nw.modMask
+	for {
+		if nw.modSlotPhase[h] != nw.phase {
+			nw.modSlotPhase[h] = nw.phase
+			nw.modSlotKey[h] = key
+			id := nw.modCount
+			nw.modCount++
+			nw.modSlotVal[h] = id
+			return id
+		}
+		if nw.modSlotKey[h] == key {
+			return nw.modSlotVal[h]
+		}
+		h = (h + 1) & nw.modMask
+	}
 }
 
 // RoutePhase implements quorum.Interconnect. Each attempt becomes a packet
@@ -114,13 +232,27 @@ type packet struct {
 // lasts until every packet has either returned (granted) or collided
 // (refused). The phase cost is the makespan in cycles.
 func (nw *Network) RoutePhase(attempts []quorum.Attempt) ([]bool, int64, int) {
-	granted := make([]bool, len(attempts))
+	if cap(nw.granted) < len(attempts) {
+		nw.granted = make([]bool, len(attempts))
+	}
+	granted := nw.granted[:len(attempts)]
+	clear(granted)
+	nw.granted = granted
 	if len(attempts) == 0 {
 		return granted, 0, 0
 	}
 	side := nw.topo.Side
-	pkts := make([]*packet, 0, len(attempts))
-	loads := make(map[int]int)
+	nw.phase++
+	nw.ensureTables(len(attempts))
+	nw.modCount = 0
+
+	if cap(nw.pkts) < len(attempts) {
+		nw.pkts = make([]packet, len(attempts))
+	}
+	pkts := nw.pkts[:len(attempts)]
+	nw.pkts = pkts
+	pathBuf := nw.pathBuf[:0]
+	sorted := true
 	for i, a := range attempts {
 		var row, col int
 		rowRail := false
@@ -143,86 +275,117 @@ func (nw *Network) RoutePhase(attempts []quorum.Attempt) ([]bool, int64, int) {
 		if a.Proc >= side {
 			panic("mot: processor id exceeds root count")
 		}
-		mod := row*side + col
-		loads[mod]++
-		path := nw.topo.requestPath(a.Proc, row, col)
+		lm := nw.internModule(int32(row*side + col))
+		if nw.modServed[lm] != -nw.phase {
+			// First sighting this phase: reset the load counter (the
+			// negative phase stamp cannot collide with a cycle stamp).
+			nw.modServed[lm] = -nw.phase
+			nw.modLoad[lm] = 0
+			nw.modServedCnt[lm] = 0
+		}
+		nw.modLoad[lm]++
+		off := int32(len(pathBuf))
 		if rowRail {
-			path = nw.topo.requestPathRowRail(a.Proc, row, col)
+			pathBuf = nw.topo.appendRequestPathRowRailDense(pathBuf, a.Proc, row, col)
+		} else {
+			pathBuf = nw.topo.appendRequestPathDense(pathBuf, a.Proc, row, col)
 		}
-		pkts = append(pkts, &packet{
-			attempt: i,
-			prio:    a.Proc,
-			path:    path,
-			service: nw.topo.servicePos(),
-			module:  mod,
-		})
+		pkts[i] = packet{
+			attempt: int32(i),
+			prio:    int32(a.Proc),
+			pathOff: off,
+			pathLen: int32(len(pathBuf)) - off,
+			service: int32(nw.topo.servicePos()),
+			module:  lm,
+		}
+		if i > 0 && pkts[i-1].prio > pkts[i].prio {
+			sorted = false
+		}
 	}
+	nw.pathBuf = pathBuf
 	maxLoad := 0
-	for _, l := range loads {
-		if l > maxLoad {
-			maxLoad = l
+	for m := int32(0); m < nw.modCount; m++ {
+		if int(nw.modLoad[m]) > maxLoad {
+			maxLoad = int(nw.modLoad[m])
 		}
 	}
-	// Deterministic processing order: by priority, then attempt index.
-	sort.Slice(pkts, func(x, y int) bool {
-		if pkts[x].prio != pkts[y].prio {
-			return pkts[x].prio < pkts[y].prio
+	// Deterministic processing order: by priority, then attempt index. The
+	// engine schedules attempts in ascending processor order, so in steady
+	// state this is the injection order and no sort happens.
+	active := nw.active[:0]
+	if sorted {
+		for i := range pkts {
+			active = append(active, int32(i))
 		}
-		return pkts[x].attempt < pkts[y].attempt
-	})
+	} else {
+		order := nw.order[:0]
+		for i := range pkts {
+			order = append(order, int32(i))
+		}
+		slices.SortFunc(order, func(x, y int32) int {
+			if pkts[x].prio != pkts[y].prio {
+				return cmp.Compare(pkts[x].prio, pkts[y].prio)
+			}
+			return cmp.Compare(x, y)
+		})
+		nw.order = order
+		active = append(active, order...)
+	}
 
 	start := nw.clock
-	servedThisCycle := make(map[int]int)
-	remaining := len(pkts)
-	for remaining > 0 {
+	for len(active) > 0 {
 		nw.clock++
 		cycle := nw.clock
-		clear(servedThisCycle)
 		queued := 0
-		for _, pk := range pkts {
-			if pk.done || pk.failed {
-				continue
-			}
+		w := 0
+		for _, pi := range active {
+			pk := &pkts[pi]
 			// Module service point.
 			if pk.pos == pk.service && !pk.served {
-				if servedThisCycle[pk.module] < nw.cfg.ModuleCapacity {
-					servedThisCycle[pk.module]++
+				lm := pk.module
+				if nw.modServed[lm] != cycle {
+					nw.modServed[lm] = cycle
+					nw.modServedCnt[lm] = 0
+				}
+				if int(nw.modServedCnt[lm]) < nw.cfg.ModuleCapacity {
+					nw.modServedCnt[lm]++
 					pk.served = true
 					nw.stats.Served++
 				} else {
 					queued++ // wait at the module leaf (stage-2 queue)
 				}
+				active[w] = pi
+				w++
 				continue
 			}
 			// Edge traversal.
-			e := pk.path[pk.pos]
-			if last, busy := nw.edgeUsed[e]; busy && last == cycle {
+			e := pathBuf[pk.pathOff+pk.pos]
+			if !nw.claimEdge(e, cycle) {
 				// Collision: someone higher-priority took this edge now.
 				if nw.cfg.Policy == DropOnCollision && !pk.served {
-					pk.failed = true
-					remaining--
 					nw.stats.Collisions++
+					continue // refused: drop from the active list
 				}
 				// Replies (and Queue policy) wait for the next cycle.
+				active[w] = pi
+				w++
 				continue
 			}
-			nw.edgeUsed[e] = cycle
 			nw.stats.Hops++
 			pk.pos++
-			if pk.pos == len(pk.path) {
-				pk.done = true
-				remaining--
+			if pk.pos == pk.pathLen {
+				granted[pk.attempt] = true
+				continue // returned: drop from the active list
 			}
+			active[w] = pi
+			w++
 		}
+		active = active[:w]
 		if queued > nw.stats.MaxQueue {
 			nw.stats.MaxQueue = queued
 		}
 	}
-	for _, pk := range pkts {
-		if pk.done {
-			granted[pk.attempt] = true
-		}
-	}
+	nw.active = active[:0]
 	elapsed := nw.clock - start
 	nw.stats.Cycles += elapsed
 	return granted, elapsed, maxLoad

@@ -13,6 +13,17 @@
 // engine, the rule Theorem 3's routing uses ("provided it does not collide
 // with a conflicting request"); replies and module queues use FIFO waiting,
 // which is the stage-2 pipelining of Luccio et al. (1990).
+//
+// # Zero-allocation invariant
+//
+// Network.RoutePhase performs zero heap allocations in steady state:
+// packets are pooled by value, paths are dense edge indices (see
+// denseEdgeID) written into a reusable arena, edge contention is a
+// cycle-stamped claim-set that never needs clearing (the global cycle
+// counter never repeats), module counters are phase-interned, and each
+// cycle walks a compacted active-packet list. testing.AllocsPerRun tests
+// lock the invariant; golden-trace tests pin grants, cycle counts and
+// Stats bit-for-bit to the pre-arena reference implementation.
 package mot
 
 import (
@@ -58,6 +69,81 @@ const (
 func edgeID(kind, dir, tree, childLevel, childPos int) uint64 {
 	return uint64(kind)<<63 | uint64(dir)<<62 |
 		uint64(tree)<<40 | uint64(childLevel)<<34 | uint64(childPos)
+}
+
+// Directed tree edges also have a DENSE index: within one tree the edge to
+// the child at (level, pos) gets offset 2^level − 2 + pos ∈ [0, 2a−2), and
+// the (kind, dir, tree) triple selects one of 4a trees, giving the compact
+// range [0, 4a·(2a−2)). The router's cycle-stamped tables are keyed by
+// these indices instead of map lookups on the packed uint64 ids.
+
+// EdgesPerTree returns the directed-edge count of one tree: 2a−2.
+func (t Topology) EdgesPerTree() int { return 2*t.Side - 2 }
+
+// DenseEdgeSpace returns the size of the dense directed-edge index range.
+func (t Topology) DenseEdgeSpace() int { return 4 * t.Side * t.EdgesPerTree() }
+
+// denseEdgeID maps a directed tree edge to its dense index. It is the
+// arithmetic counterpart of edgeID: two edges get equal dense indices iff
+// their packed ids are equal (TestDensePathMatchesEdgeIDs locks this).
+func (t Topology) denseEdgeID(kind, dir, tree, childLevel, childPos int) int32 {
+	ept := t.EdgesPerTree()
+	return int32(((kind<<1|dir)*t.Side+tree)*ept + (1 << childLevel) - 2 + childPos)
+}
+
+// appendRequestPathDense appends requestPath's edges as dense indices.
+func (t Topology) appendRequestPathDense(dst []int32, proc, row, col int) []int32 {
+	d := t.Depth
+	for l := 1; l <= d; l++ {
+		dst = append(dst, t.denseEdgeID(kindRow, dirDown, proc, l, col>>(d-l)))
+	}
+	for l := d; l >= 1; l-- {
+		dst = append(dst, t.denseEdgeID(kindCol, dirUp, col, l, proc>>(d-l)))
+	}
+	if t.Placement == ModulesAtLeaves {
+		for l := 1; l <= d; l++ {
+			dst = append(dst, t.denseEdgeID(kindCol, dirDown, col, l, row>>(d-l)))
+		}
+	}
+	// --- service point: len so far ---
+	if t.Placement == ModulesAtLeaves {
+		for l := d; l >= 1; l-- {
+			dst = append(dst, t.denseEdgeID(kindCol, dirUp, col, l, row>>(d-l)))
+		}
+	}
+	for l := 1; l <= d; l++ {
+		dst = append(dst, t.denseEdgeID(kindCol, dirDown, col, l, proc>>(d-l)))
+	}
+	for l := d; l >= 1; l-- {
+		dst = append(dst, t.denseEdgeID(kindRow, dirUp, proc, l, col>>(d-l)))
+	}
+	return dst
+}
+
+// appendRequestPathRowRailDense appends requestPathRowRail's edges as dense
+// indices.
+func (t Topology) appendRequestPathRowRailDense(dst []int32, proc, row, col int) []int32 {
+	d := t.Depth
+	for l := 1; l <= d; l++ {
+		dst = append(dst, t.denseEdgeID(kindRow, dirDown, proc, l, row>>(d-l)))
+	}
+	for l := d; l >= 1; l-- {
+		dst = append(dst, t.denseEdgeID(kindCol, dirUp, row, l, proc>>(d-l)))
+	}
+	for l := 1; l <= d; l++ {
+		dst = append(dst, t.denseEdgeID(kindRow, dirDown, row, l, col>>(d-l)))
+	}
+	// --- service at leaf (row, col) ---
+	for l := d; l >= 1; l-- {
+		dst = append(dst, t.denseEdgeID(kindRow, dirUp, row, l, col>>(d-l)))
+	}
+	for l := 1; l <= d; l++ {
+		dst = append(dst, t.denseEdgeID(kindCol, dirDown, row, l, proc>>(d-l)))
+	}
+	for l := d; l >= 1; l-- {
+		dst = append(dst, t.denseEdgeID(kindRow, dirUp, proc, l, row>>(d-l)))
+	}
+	return dst
 }
 
 // Topology captures the static shape of an a×a 2DMOT.

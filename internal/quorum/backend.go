@@ -1,8 +1,9 @@
 package quorum
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/model"
 )
@@ -30,6 +31,11 @@ func (e *StallError) Error() string {
 // It is the shared chassis of the MPC baseline (Lemma 1 parameters) and the
 // paper's DMMPC (Lemma 2 parameters); the 2DMOT machine plugs in a packet
 // network as the Interconnect.
+//
+// ExecuteStep is allocation-free in steady state: concurrent accesses are
+// deduplicated by sorting a reusable record slice (grouped by address)
+// instead of building per-step maps, and the StepReport's Values slice is a
+// dense per-processor buffer reused across steps.
 type Machine struct {
 	name  string
 	n     int
@@ -40,6 +46,18 @@ type Machine struct {
 	// twoStage, when non-nil, selects the faithful UW'87 two-stage
 	// schedule for every batch (SetTwoStage).
 	twoStage *TwoStageConfig
+
+	sc stepScratch
+}
+
+// stepScratch holds the Machine's reusable per-step buffers.
+type stepScratch struct {
+	recs      []model.ConflictRec
+	readReqs  []Request
+	readStart []int32 // per read request: start of its reader run in recs
+	readEnd   []int32 // per read request: end of its reader run in recs
+	writeReqs []Request
+	values    []model.Word // dense per-proc read values (the StepReport.Values buffer)
 }
 
 // NewMachine assembles a quorum-protocol backend.
@@ -91,60 +109,93 @@ func (m *Machine) Redundancy() int { return m.store.Map().R() }
 
 // ExecuteStep implements model.Backend.
 func (m *Machine) ExecuteStep(batch model.Batch) model.StepReport {
-	rep := model.StepReport{Values: make(map[int]model.Word, batch.Reads())}
-	rep.Err = model.CheckConflicts(batch, m.mode)
+	sc := &m.sc
 
-	// --- Read sub-step: dedup concurrent reads per variable. ---
-	readersOf := make(map[model.Addr][]int)
+	// Flatten the step's active requests and sort them by address, reads
+	// before writes within a group, ascending processor ids within each
+	// run — one sort replaces the per-step readersOf/winner maps AND feeds
+	// the conflict check (which only needs address grouping).
+	recs := sc.recs[:0]
+	maxProc := m.n - 1
 	for _, r := range batch {
-		if r.Op == model.OpRead {
-			readersOf[r.Addr] = append(readersOf[r.Addr], r.Proc)
-		}
-	}
-	readVars := sortedAddrs(readersOf)
-	readReqs := make([]Request, len(readVars))
-	for i, v := range readVars {
-		procs := readersOf[v]
-		sort.Ints(procs)
-		readReqs[i] = Request{Proc: procs[0], Var: v}
-	}
-	rres := m.runBatch(readReqs)
-	for i, v := range readVars {
-		for _, p := range readersOf[v] {
-			rep.Values[p] = rres.Values[i]
-		}
-	}
-
-	// --- Write sub-step: resolve conflicting writers per Mode, dedup. ---
-	winner := make(map[model.Addr]model.Request)
-	for _, r := range batch {
-		if r.Op != model.OpWrite {
+		if r.Op == model.OpNone {
 			continue
 		}
-		prev, seen := winner[r.Addr]
-		switch {
-		case !seen:
-			winner[r.Addr] = r
-		case m.mode == model.CRCWArbitrary:
-			if r.Proc > prev.Proc {
-				winner[r.Addr] = r
-			}
-		default:
-			if r.Proc < prev.Proc {
-				winner[r.Addr] = r
-			}
+		recs = append(recs, model.ConflictRec{Addr: r.Addr, Proc: r.Proc, Val: r.Value, Write: r.Op == model.OpWrite})
+		if r.Proc > maxProc {
+			maxProc = r.Proc
 		}
 	}
-	writeVars := make([]int, 0, len(winner))
-	for v := range winner {
-		writeVars = append(writeVars, v)
+	sc.recs = recs
+	slices.SortFunc(recs, func(a, b model.ConflictRec) int {
+		if a.Addr != b.Addr {
+			return cmp.Compare(a.Addr, b.Addr)
+		}
+		if a.Write != b.Write {
+			if a.Write {
+				return 1
+			}
+			return -1
+		}
+		return cmp.Compare(a.Proc, b.Proc)
+	})
+
+	var rep model.StepReport
+	rep.Err = model.CheckSortedRecords(recs, m.mode)
+
+	sc.values = grow(sc.values, maxProc+1)
+	values := sc.values
+	clear(values)
+	rep.Values = values
+
+	// One walk over the address groups builds both deduplicated batches:
+	// per address, the readers [i,k) get one read request owned by the
+	// lowest-processor reader, and the writers [k,j) resolve to one write
+	// request per Mode — Priority (and the EREW/CREW/common fallback)
+	// takes the first (lowest-proc) writer, Arbitrary the last.
+	readReqs := sc.readReqs[:0]
+	readStart := sc.readStart[:0]
+	readEnd := sc.readEnd[:0]
+	writeReqs := sc.writeReqs[:0]
+	for i := 0; i < len(recs); {
+		j := i
+		for j < len(recs) && recs[j].Addr == recs[i].Addr {
+			j++
+		}
+		k := i
+		for k < j && !recs[k].Write {
+			k++
+		}
+		if k > i {
+			readReqs = append(readReqs, Request{Proc: recs[i].Proc, Var: recs[i].Addr})
+			readStart = append(readStart, int32(i))
+			readEnd = append(readEnd, int32(k))
+		}
+		if k < j {
+			w := recs[k]
+			if m.mode == model.CRCWArbitrary {
+				w = recs[j-1]
+			}
+			writeReqs = append(writeReqs, Request{Proc: w.Proc, Var: w.Addr, Write: true, Value: w.Val})
+		}
+		i = j
 	}
-	sort.Ints(writeVars)
-	writeReqs := make([]Request, len(writeVars))
-	for i, v := range writeVars {
-		w := winner[v]
-		writeReqs[i] = Request{Proc: w.Proc, Var: v, Write: true, Value: w.Value}
+	sc.readReqs = readReqs
+	sc.readStart = readStart
+	sc.readEnd = readEnd
+	sc.writeReqs = writeReqs
+
+	rres := m.runBatch(readReqs)
+	// Fan the per-address values out to every reader NOW: the write batch
+	// below reuses the engine's result buffers.
+	for g := range readReqs {
+		v := rres.Values[g]
+		for k := readStart[g]; k < readEnd[g]; k++ {
+			values[recs[k].Proc] = v
+		}
 	}
+	readStalled, readPhases, readLastLive := rres.Stalled, rres.Phases, lastLive(rres)
+
 	wres := m.runBatch(writeReqs)
 
 	// --- Assemble the report. ---
@@ -158,8 +209,8 @@ func (m *Machine) ExecuteStep(batch model.Batch) model.StepReport {
 	if wres.MaxModuleLoad > rep.ModuleContention {
 		rep.ModuleContention = wres.MaxModuleLoad
 	}
-	if rres.Stalled && rep.Err == nil {
-		rep.Err = &StallError{Batch: "read", Phases: rres.Phases, Live: lastLive(rres)}
+	if readStalled && rep.Err == nil {
+		rep.Err = &StallError{Batch: "read", Phases: readPhases, Live: readLastLive}
 	}
 	if wres.Stalled && rep.Err == nil {
 		rep.Err = &StallError{Batch: "write", Phases: wres.Phases, Live: lastLive(wres)}
@@ -175,15 +226,6 @@ func (m *Machine) LoadCells(base model.Addr, vals []model.Word) {
 	for i, v := range vals {
 		m.store.LoadCell(base+i, v)
 	}
-}
-
-func sortedAddrs(set map[model.Addr][]int) []int {
-	out := make([]int, 0, len(set))
-	for a := range set {
-		out = append(out, a)
-	}
-	sort.Ints(out)
-	return out
 }
 
 func lastLive(r Result) int {

@@ -1,18 +1,36 @@
 package quorum
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+)
 
 // CompleteBipartite is the interconnect of the MPC and DMMPC models: every
 // processor reaches every memory module directly (K(n,n) resp. K(n,M)), so
 // a phase costs one time unit and the only resource limit is per-module
 // bandwidth — each module serves at most Bandwidth requests per phase
 // (1 in the classical models).
+//
+// RoutePhase is allocation-free and sort-free in steady state: per-module
+// arbitration uses a phase-stamped load table indexed by module id (grown
+// lazily to the highest module seen, i.e. O(M) like the machine itself).
+// Attempts are processed in ascending processor order — the order the
+// engine schedules them in — so the first Bandwidth attempts seen per
+// module are exactly the lowest-processor ones; unsorted callers are
+// detected and sorted first. The returned granted slice is reused across
+// calls (see Interconnect).
 type CompleteBipartite struct {
 	// Bandwidth is the number of copy accesses a module can serve per
 	// phase; the MPC/DMMPC definitions use 1.
 	Bandwidth int
 	// PhaseCost is the simulated duration of a phase (default 1).
 	PhaseCost int64
+
+	granted []bool
+	order   []int32
+	phase   int64   // stamp: current RoutePhase invocation
+	stamp   []int64 // per-module: last phase that touched it
+	load    []int32 // per-module: attempts seen this phase
 }
 
 // NewCompleteBipartite returns the standard unit-bandwidth interconnect.
@@ -32,7 +50,9 @@ func (cb *CompleteBipartite) SetBandwidth(perPhase int) {
 // with the lowest processor ids are granted (deterministic priority
 // arbitration), the rest are refused and will be retried by the engine.
 func (cb *CompleteBipartite) RoutePhase(attempts []Attempt) ([]bool, int64, int) {
-	granted := make([]bool, len(attempts))
+	cb.granted = grow(cb.granted, len(attempts))
+	granted := cb.granted
+	clear(granted)
 	bw := cb.Bandwidth
 	if bw <= 0 {
 		bw = 1
@@ -44,23 +64,58 @@ func (cb *CompleteBipartite) RoutePhase(attempts []Attempt) ([]bool, int64, int)
 	if len(attempts) == 0 {
 		return granted, 0, 0
 	}
-	byModule := make(map[int][]int)
+	cb.phase++
+	maxModule, sorted := 0, true
 	for i, a := range attempts {
-		byModule[a.Module] = append(byModule[a.Module], i)
+		if a.Module > maxModule {
+			maxModule = a.Module
+		}
+		if i > 0 && a.Proc < attempts[i-1].Proc {
+			sorted = false
+		}
 	}
+	if cap(cb.stamp) <= maxModule {
+		cb.stamp = make([]int64, maxModule+1)
+		cb.load = make([]int32, maxModule+1)
+	}
+	stamp, load := cb.stamp[:maxModule+1], cb.load[:maxModule+1]
 	maxLoad := 0
-	for _, idxs := range byModule {
-		if len(idxs) > maxLoad {
-			maxLoad = len(idxs)
+	serve := func(i int) {
+		a := attempts[i]
+		if stamp[a.Module] != cb.phase {
+			stamp[a.Module] = cb.phase
+			load[a.Module] = 0
 		}
-		sort.Slice(idxs, func(x, y int) bool {
-			return attempts[idxs[x]].Proc < attempts[idxs[y]].Proc
-		})
-		for rank, i := range idxs {
-			if rank < bw {
-				granted[i] = true
-			}
+		load[a.Module]++
+		if int(load[a.Module]) <= bw {
+			granted[i] = true
 		}
+		if int(load[a.Module]) > maxLoad {
+			maxLoad = int(load[a.Module])
+		}
+	}
+	if sorted {
+		for i := range attempts {
+			serve(i)
+		}
+		return granted, cost, maxLoad
+	}
+	// Rare path: direct callers with unsorted attempts. Arbitrate in
+	// ascending (proc, index) order so grants stay deterministic and
+	// identical to the engine-ordered case.
+	order := grow(cb.order, len(attempts))
+	cb.order = order
+	for i := range order {
+		order[i] = int32(i)
+	}
+	slices.SortFunc(order, func(x, y int32) int {
+		if attempts[x].Proc != attempts[y].Proc {
+			return cmp.Compare(attempts[x].Proc, attempts[y].Proc)
+		}
+		return cmp.Compare(x, y)
+	})
+	for _, i := range order {
+		serve(int(i))
 	}
 	return granted, cost, maxLoad
 }

@@ -25,6 +25,8 @@ type Attempt struct {
 type Interconnect interface {
 	// RoutePhase processes one phase of attempts and reports which were
 	// granted, the phase's simulated duration, and the peak per-module load.
+	// Implementations may reuse the returned slice: its contents are only
+	// valid until the next RoutePhase call on the same interconnect.
 	RoutePhase(attempts []Attempt) (granted []bool, time int64, maxLoad int)
 }
 
@@ -46,6 +48,11 @@ type Request struct {
 }
 
 // Result reports the cost and outcome of executing one access batch.
+//
+// The Values, Satisfied and LiveTrace slices alias the engine's reusable
+// scratch arena: they are valid until the next ExecuteBatch or
+// ExecuteBatchTwoStage call on the same engine, and must be copied if they
+// need to outlive it.
 type Result struct {
 	Phases        int
 	Time          int64
@@ -63,22 +70,61 @@ type Result struct {
 
 // Engine runs the cluster-based two-stage access protocol over a store and
 // an interconnect.
+//
+// All per-batch working state lives in a scratch arena owned by the engine
+// and reused across batches, so in steady state ExecuteBatch performs zero
+// heap allocations (an invariant locked in by TestExecuteBatchZeroAllocs).
+// The arena makes an Engine single-threaded: one batch at a time.
 type Engine struct {
-	store *Store
-	net   Interconnect
-	n     int // processors
-	c     int // quorum size
-	r     int // redundancy 2c−1 (= cluster size)
+	store    *Store
+	net      Interconnect
+	n        int // processors
+	c        int // quorum size
+	r        int // redundancy 2c−1 (= cluster size)
+	clusters int // ⌈n/r⌉
 
 	// MaxPhases caps the phase loop so corrupted maps surface as a stalled
 	// Result instead of an infinite loop. Zero selects a generous default.
 	MaxPhases int
+
+	sc engineScratch
+}
+
+// engineScratch is the engine's reusable per-batch arena. Buffers grow to
+// the largest batch seen and are then recycled forever.
+type engineScratch struct {
+	states   []reqState
+	qstart   []int // per-cluster queue offsets into qbuf (len clusters+1)
+	qfill    []int // per-cluster fill cursors during bucketing
+	qbuf     []int // request indices, bucketed by cluster
+	rr       []int // per-cluster round-robin cursors
+	attempts []Attempt
+	owners   []int // parallel to attempts: request index
+	trace    []int // live-trace accumulator (spans both two-stage stages)
+
+	// Primary result buffers back the Result of the exported entry points;
+	// the secondary set backs the inner stage-2 run of the two-stage
+	// schedule, which must not clobber the stage-1 result it merges into.
+	values     []model.Word
+	satisfied  []bool
+	values2    []model.Word
+	satisfied2 []bool
+	liveReqs   []Request
+	liveIdx    []int
 }
 
 // NewEngine returns an engine for n processors over store and net.
 func NewEngine(store *Store, net Interconnect, n int) *Engine {
 	p := store.Map().P
-	return &Engine{store: store, net: net, n: n, c: p.C, r: p.R()}
+	r := p.R()
+	return &Engine{
+		store:    store,
+		net:      net,
+		n:        n,
+		c:        p.C,
+		r:        r,
+		clusters: (n + r - 1) / r,
+	}
 }
 
 // maxPhases returns the stall cap.
@@ -101,6 +147,32 @@ type reqState struct {
 	anyAccess bool
 }
 
+// grow resizes buf to n entries, reusing its backing array when possible.
+func grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}
+
+// primaryBuffers returns the cleared result buffers for an exported batch.
+func (e *Engine) primaryBuffers(n int) ([]model.Word, []bool) {
+	e.sc.values = grow(e.sc.values, n)
+	e.sc.satisfied = grow(e.sc.satisfied, n)
+	clear(e.sc.values)
+	clear(e.sc.satisfied)
+	return e.sc.values, e.sc.satisfied
+}
+
+// secondaryBuffers returns the cleared result buffers for the stage-2 sub-run.
+func (e *Engine) secondaryBuffers(n int) ([]model.Word, []bool) {
+	e.sc.values2 = grow(e.sc.values2, n)
+	e.sc.satisfied2 = grow(e.sc.satisfied2, n)
+	clear(e.sc.values2)
+	clear(e.sc.satisfied2)
+	return e.sc.values2, e.sc.satisfied2
+}
+
 // ExecuteBatch runs the protocol on one batch of deduplicated requests and
 // returns per-request read values plus the phase/time accounting.
 //
@@ -112,10 +184,16 @@ type reqState struct {
 // touched. The memory map's expansion property makes the live-set shrink
 // geometrically, which the LiveTrace in the Result lets tests verify.
 func (e *Engine) ExecuteBatch(reqs []Request) Result {
-	res := Result{
-		Values:    make([]model.Word, len(reqs)),
-		Satisfied: make([]bool, len(reqs)),
-	}
+	e.sc.trace = e.sc.trace[:0]
+	values, satisfied := e.primaryBuffers(len(reqs))
+	return e.run(reqs, values, satisfied)
+}
+
+// run executes one batch into the given result buffers, appending the live
+// trace to the shared arena accumulator (so the two-stage schedule's stages
+// land in one contiguous trace).
+func (e *Engine) run(reqs []Request, values []model.Word, satisfied []bool) Result {
+	res := Result{Values: values, Satisfied: satisfied}
 	if len(reqs) == 0 {
 		return res
 	}
@@ -123,37 +201,56 @@ func (e *Engine) ExecuteBatch(reqs []Request) Result {
 		panic(fmt.Sprintf("quorum.Engine: redundancy %d exceeds bitmask width", e.r))
 	}
 	now := e.store.Tick()
-	states := make([]reqState, len(reqs))
-
-	// Assign requests to the cluster of their issuing processor.
-	clusters := (e.n + e.r - 1) / e.r
-	queues := make([][]int, clusters)
-	for i, rq := range reqs {
-		k := rq.Proc / e.r
-		if k >= clusters {
-			k = clusters - 1
-		}
-		queues[k] = append(queues[k], i)
+	sc := &e.sc
+	sc.states = grow(sc.states, len(reqs))
+	states := sc.states
+	for i := range states {
+		states[i] = reqState{}
 	}
-	rr := make([]int, clusters)
+
+	// Bucket requests by the cluster of their issuing processor, preserving
+	// batch order within each cluster (a counting sort into a flat buffer).
+	clusters := e.clusters
+	sc.qstart = grow(sc.qstart, clusters+1)
+	sc.qfill = grow(sc.qfill, clusters)
+	sc.qbuf = grow(sc.qbuf, len(reqs))
+	sc.rr = grow(sc.rr, clusters)
+	clear(sc.qfill)
+	clear(sc.rr)
+	for _, rq := range reqs {
+		sc.qfill[e.clusterOf(rq.Proc)]++
+	}
+	off := 0
+	for k := 0; k < clusters; k++ {
+		sc.qstart[k] = off
+		off += sc.qfill[k]
+		sc.qfill[k] = sc.qstart[k]
+	}
+	sc.qstart[clusters] = off
+	for i, rq := range reqs {
+		k := e.clusterOf(rq.Proc)
+		sc.qbuf[sc.qfill[k]] = i
+		sc.qfill[k]++
+	}
 
 	live := len(reqs)
-	cap := e.maxPhases(len(reqs))
-	var attempts []Attempt
-	var owners []int // parallel to attempts: request index
+	phaseCap := e.maxPhases(len(reqs))
+	traceStart := len(sc.trace)
+	attempts := sc.attempts[:0]
+	owners := sc.owners[:0]
 	for phase := 0; live > 0; phase++ {
-		if phase >= cap {
+		if phase >= phaseCap {
 			res.Stalled = true
 			break
 		}
 		attempts = attempts[:0]
 		owners = owners[:0]
 		for k := 0; k < clusters; k++ {
-			idx := e.nextLive(queues[k], &rr[k], states)
+			idx := e.nextLive(sc.qbuf[sc.qstart[k]:sc.qstart[k+1]], &sc.rr[k], states)
 			if idx < 0 {
 				continue
 			}
-			e.scheduleRequest(k, idx, reqs[idx], &states[idx], &attempts, &owners)
+			attempts, owners = e.scheduleRequest(k, idx, reqs[idx], &states[idx], attempts, owners)
 		}
 		granted, t, load := e.net.RoutePhase(attempts)
 		res.Phases++
@@ -187,15 +284,28 @@ func (e *Engine) ExecuteBatch(reqs []Request) Result {
 				live--
 			}
 		}
-		res.LiveTrace = append(res.LiveTrace, live)
+		sc.trace = append(sc.trace, live)
 	}
+	sc.attempts = attempts
+	sc.owners = owners
+	res.LiveTrace = sc.trace[traceStart:len(sc.trace):len(sc.trace)]
 	for i := range reqs {
-		res.Satisfied[i] = states[i].done
+		satisfied[i] = states[i].done
 		if !reqs[i].Write && states[i].anyAccess {
-			res.Values[i] = states[i].bestVal
+			values[i] = states[i].bestVal
 		}
 	}
 	return res
+}
+
+// clusterOf maps a processor id to its cluster, clamping overflow ids into
+// the last (possibly short) cluster.
+func (e *Engine) clusterOf(proc int) int {
+	k := proc / e.r
+	if k >= e.clusters {
+		k = e.clusters - 1
+	}
+	return k
 }
 
 // nextLive advances a cluster's round-robin cursor to its next unsatisfied
@@ -214,7 +324,7 @@ func (e *Engine) nextLive(queue []int, cursor *int, states []reqState) int {
 // scheduleRequest assigns the member processors of cluster k to the live
 // (unaccessed) copies of request idx, one attempt per processor, each in a
 // distinct module by the map's distinctness invariant.
-func (e *Engine) scheduleRequest(k, idx int, rq Request, st *reqState, attempts *[]Attempt, owners *[]int) {
+func (e *Engine) scheduleRequest(k, idx int, rq Request, st *reqState, attempts []Attempt, owners []int) ([]Attempt, []int) {
 	base := k * e.r
 	end := base + e.r
 	if end > e.n {
@@ -228,14 +338,15 @@ func (e *Engine) scheduleRequest(k, idx int, rq Request, st *reqState, attempts 
 		if st.accessed&(1<<uint(j)) != 0 {
 			continue
 		}
-		*attempts = append(*attempts, Attempt{
+		attempts = append(attempts, Attempt{
 			Proc:   base + slot,
 			Module: int(copies[j]),
 			Var:    rq.Var,
 			Copy:   j,
 			Write:  rq.Write,
 		})
-		*owners = append(*owners, idx)
+		owners = append(owners, idx)
 		slot++
 	}
+	return attempts, owners
 }

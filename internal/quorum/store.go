@@ -10,6 +10,23 @@
 // granted in a phase and at what simulated cost), so the same engine drives
 // the MPC (M = n, Θ(log m) copies), the paper's DMMPC (M = n^(1+ε), Θ(1)
 // copies) and the 2DMOT network of Section 3.
+//
+// # Zero-allocation invariant
+//
+// The hot path — Machine.ExecuteStep → Engine.ExecuteBatch →
+// Interconnect.RoutePhase — performs zero heap allocations in steady
+// state, so benchmarks measure the protocol rather than the garbage
+// collector. Every per-step and per-batch structure lives in a scratch
+// arena owned by its component and reused across invocations: the engine
+// keeps request states, flattened cluster queues, attempt/owner buffers and
+// the live-trace accumulator; the backend keeps the sorted dedup records
+// and the dense per-processor values buffer; the bipartite interconnect
+// keeps a phase-stamped per-module load table. The price is aliasing —
+// Result and StepReport slices are valid only until the next call on the
+// same component — and single-threadedness per machine instance.
+// testing.AllocsPerRun tests (alloc_test.go) lock the invariant; golden
+// trace tests (golden_test.go, testdata/) pin the behavior bit-for-bit to
+// the pre-arena reference implementation.
 package quorum
 
 import (

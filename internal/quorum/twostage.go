@@ -52,32 +52,40 @@ func (ts *TwoStageConfig) stage2Bandwidth(n int) int {
 
 // ExecuteBatchTwoStage runs one access batch under the two-stage schedule.
 // The Result's Phases/Time/LiveTrace span both stages; Stage1Phases and
-// Stage2Phases break the count down.
+// Stage2Phases break the count down. Like ExecuteBatch, the Result's slices
+// alias the engine's scratch arena: both stages append to one contiguous
+// live-trace buffer, and stage 2 runs in the arena's secondary result
+// buffers so merging cannot clobber the stage-1 frame.
 func (e *Engine) ExecuteBatchTwoStage(reqs []Request, cfg TwoStageConfig) Result {
+	e.sc.trace = e.sc.trace[:0]
+	values, satisfied := e.primaryBuffers(len(reqs))
 	// Stage 1: the ordinary round-robin loop, capped at the budget. A
 	// "stall" here is not an error — it is the designed handoff point.
 	saveMax := e.MaxPhases
 	e.MaxPhases = cfg.stage1Budget(e.n, e.r)
-	stage1 := e.ExecuteBatch(reqs)
+	stage1 := e.run(reqs, values, satisfied)
 	e.MaxPhases = saveMax
 	stage1.Stage1Phases = stage1.Phases
 	if !stage1.Stalled {
 		return stage1
 	}
 	// Stage 2: drain the stragglers with boosted module bandwidth.
-	var liveReqs []Request
-	var liveIdx []int
+	liveReqs := e.sc.liveReqs[:0]
+	liveIdx := e.sc.liveIdx[:0]
 	for i, ok := range stage1.Satisfied {
 		if !ok {
 			liveReqs = append(liveReqs, reqs[i])
 			liveIdx = append(liveIdx, i)
 		}
 	}
+	e.sc.liveReqs = liveReqs
+	e.sc.liveIdx = liveIdx
 	if bs, ok := e.net.(BandwidthSetter); ok {
 		bs.SetBandwidth(cfg.stage2Bandwidth(e.n))
 		defer bs.SetBandwidth(1)
 	}
-	stage2 := e.ExecuteBatch(liveReqs)
+	values2, satisfied2 := e.secondaryBuffers(len(liveReqs))
+	stage2 := e.run(liveReqs, values2, satisfied2)
 	// Merge stage 2 outcomes into stage 1's result frame.
 	merged := stage1
 	merged.Stalled = stage2.Stalled
@@ -87,7 +95,9 @@ func (e *Engine) ExecuteBatchTwoStage(reqs []Request, cfg TwoStageConfig) Result
 	if stage2.MaxModuleLoad > merged.MaxModuleLoad {
 		merged.MaxModuleLoad = stage2.MaxModuleLoad
 	}
-	merged.LiveTrace = append(merged.LiveTrace, stage2.LiveTrace...)
+	// Both stages appended to the shared accumulator, so the merged trace
+	// is simply its full extent.
+	merged.LiveTrace = e.sc.trace[:len(e.sc.trace):len(e.sc.trace)]
 	merged.Stage2Phases = stage2.Phases
 	for j, i := range liveIdx {
 		merged.Satisfied[i] = stage2.Satisfied[j]
