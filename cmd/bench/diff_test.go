@@ -1,0 +1,138 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCompareSnapshots(t *testing.T) {
+	old := Snapshot{Results: []Result{
+		{Name: "E3DMMPCStep/n=1024", NsPerOp: 1000, AllocsPerOp: 0},
+		{Name: "E5MOT2DStep/n=256", NsPerOp: 2000, AllocsPerOp: 0},
+		{Name: "MOTNetworkPhase/side=1024", NsPerOp: 500, AllocsPerOp: 0},
+		{Name: "E4MPCStep/n=256", NsPerOp: 900, AllocsPerOp: 12}, // not zero-alloc: ignored
+	}}
+	cur := Snapshot{Results: []Result{
+		{Name: "E3DMMPCStep/n=1024", NsPerOp: 1099, AllocsPerOp: 0},  // +9.9%: within threshold
+		{Name: "E5MOT2DStep/n=256", NsPerOp: 2500, AllocsPerOp: 0},   // +25%: regression
+		{Name: "MOTNetworkPhase/side=1024", NsPerOp: 450, AllocsPerOp: 3}, // allocs appeared
+		{Name: "E4MPCStep/n=256", NsPerOp: 5000, AllocsPerOp: 12},
+		{Name: "Brand/new", NsPerOp: 1, AllocsPerOp: 0}, // no baseline: ignored
+	}}
+	regs, compared := compareSnapshots(old, cur, 0.10)
+	if compared != 3 {
+		t.Errorf("compared %d zero-alloc benchmarks, want 3", compared)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions, want 2: %v", len(regs), regs)
+	}
+	if !strings.Contains(regs[0], "E5MOT2DStep/n=256") || !strings.Contains(regs[0], "ns/op") {
+		t.Errorf("first regression should be the E5 ns/op blowup, got %q", regs[0])
+	}
+	if !strings.Contains(regs[1], "MOTNetworkPhase/side=1024") || !strings.Contains(regs[1], "allocs/op") {
+		t.Errorf("second regression should be the alloc leak, got %q", regs[1])
+	}
+}
+
+func TestCompareSnapshotsClean(t *testing.T) {
+	old := Snapshot{Results: []Result{{Name: "A", NsPerOp: 100, AllocsPerOp: 0}}}
+	cur := Snapshot{Results: []Result{{Name: "A", NsPerOp: 105, AllocsPerOp: 0}}}
+	if regs, _ := compareSnapshots(old, cur, 0.10); len(regs) != 0 {
+		t.Errorf("within-threshold drift flagged: %v", regs)
+	}
+}
+
+// TestNewestSnapshotsOrdering checks the lineage walk over fixture files:
+// same-day sequels sort after their base date, before the next day.
+func TestNewestSnapshotsOrdering(t *testing.T) {
+	older, newer, ok, err := newestSnapshots("testdata")
+	if err != nil || !ok {
+		t.Fatalf("newestSnapshots: ok=%v err=%v", ok, err)
+	}
+	if filepath.Base(older) != "BENCH_2026-01-02.json" || filepath.Base(newer) != "BENCH_2026-01-02_2.json" {
+		t.Errorf("picked (%s, %s), want the 01-02 pair in base-then-sequel order",
+			filepath.Base(older), filepath.Base(newer))
+	}
+}
+
+// TestRunDiffFixtures runs the full -diff mode over the fixture snapshots,
+// which contain a deliberate >10% regression of one zero-alloc benchmark.
+func TestRunDiffFixtures(t *testing.T) {
+	if code := runDiff("testdata", 0.10); code != 1 {
+		t.Errorf("runDiff over regressing fixtures = %d, want exit code 1", code)
+	}
+	if code := runDiff("testdata", 0.60); code != 0 {
+		t.Errorf("runDiff with a 60%% threshold = %d, want 0", code)
+	}
+	empty := t.TempDir()
+	if code := runDiff(empty, 0.10); code != 0 {
+		t.Errorf("runDiff over an empty dir = %d, want 0", code)
+	}
+}
+
+// TestSnapshotPathNonClobbering: same-day snapshots get sequel names.
+func TestSnapshotPathNonClobbering(t *testing.T) {
+	dir := t.TempDir()
+	p1 := snapshotPath(dir, "2026-07-29")
+	if filepath.Base(p1) != "BENCH_2026-07-29.json" {
+		t.Fatalf("first snapshot named %s", filepath.Base(p1))
+	}
+	if err := os.WriteFile(p1, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p2 := snapshotPath(dir, "2026-07-29")
+	if filepath.Base(p2) != "BENCH_2026-07-29_2.json" {
+		t.Fatalf("second snapshot named %s, want BENCH_2026-07-29_2.json", filepath.Base(p2))
+	}
+	if err := os.WriteFile(p2, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if p3 := snapshotPath(dir, "2026-07-29"); filepath.Base(p3) != "BENCH_2026-07-29_3.json" {
+		t.Fatalf("third snapshot named %s, want BENCH_2026-07-29_3.json", filepath.Base(p3))
+	}
+}
+
+// TestSnapshotKeyOrdering pins the chronological ordering the -diff
+// lineage walk relies on, including double-digit sequels (numerically
+// _10 > _2, even though lexicographically it is not).
+func TestSnapshotKeyOrdering(t *testing.T) {
+	ordered := []string{
+		"BENCH_2026-07-29.json",
+		"BENCH_2026-07-29_2.json",
+		"BENCH_2026-07-29_10.json",
+		"BENCH_2026-07-30.json",
+	}
+	for i := 1; i < len(ordered); i++ {
+		da, sa := snapshotKey(ordered[i-1])
+		db, sb := snapshotKey(ordered[i])
+		if !(da < db || (da == db && sa < sb)) {
+			t.Errorf("%s must sort before %s (got keys %s/%d vs %s/%d)",
+				ordered[i-1], ordered[i], da, sa, db, sb)
+		}
+	}
+}
+
+// TestNewestSnapshotsDoubleDigitSequel: with 10+ same-day snapshots the
+// lineage walk must pick _9 and _10, not a lexicographic pair.
+func TestNewestSnapshotsDoubleDigitSequel(t *testing.T) {
+	dir := t.TempDir()
+	names := []string{"BENCH_2026-07-29.json"}
+	for seq := 2; seq <= 10; seq++ {
+		names = append(names, fmt.Sprintf("BENCH_2026-07-29_%d.json", seq))
+	}
+	for _, n := range names {
+		if err := os.WriteFile(filepath.Join(dir, n), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	older, newer, ok, err := newestSnapshots(dir)
+	if err != nil || !ok {
+		t.Fatalf("newestSnapshots: ok=%v err=%v", ok, err)
+	}
+	if filepath.Base(older) != "BENCH_2026-07-29_9.json" || filepath.Base(newer) != "BENCH_2026-07-29_10.json" {
+		t.Errorf("picked (%s, %s), want (_9, _10)", filepath.Base(older), filepath.Base(newer))
+	}
+}

@@ -4,9 +4,17 @@
 // accesses) of one representative step. The JSON seeds the repo's
 // performance trajectory — successive PRs append snapshots and diff them.
 //
+// It also implements the snapshot-lineage regression gate (ROADMAP lane 4):
+//
+//	go run ./cmd/bench -diff [-out DIR] [-threshold 0.10]
+//
+// compares the newest two BENCH_<date>.json snapshots in DIR and exits
+// non-zero if any benchmark that was allocation-free in the older snapshot
+// started allocating or slowed down by more than the threshold.
+//
 // Usage:
 //
-//	go run ./cmd/bench [-out DIR] [-benchtime 1s]
+//	go run ./cmd/bench [-out DIR] [-benchtime 1s] [-parallel N] [-diff]
 package main
 
 import (
@@ -15,7 +23,6 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
@@ -72,10 +79,40 @@ func permBatch(n int, seed int64) model.Batch {
 	return batch
 }
 
-// measure runs fn as a benchmark and captures one representative report.
+// benchRuns is how many times each benchmark is repeated; the snapshot
+// records the MINIMUM ns/op (and allocs) across repeats. On shared or
+// virtualized hosts the distribution of a deterministic benchmark is the
+// true cost plus one-sided noise bursts, so the minimum is the stable
+// estimator — single-shot numbers swing ±30% and would trip the -diff
+// regression gate on machine weather. Settable via -runs.
+var benchRuns = 3
+
+// measureMin repeats a benchmark body and keeps the best run.
+func measureMin(name string, body func(b *testing.B)) Result {
+	res := Result{Name: name}
+	for run := 0; run < benchRuns; run++ {
+		br := testing.Benchmark(body)
+		if br.N == 0 {
+			// b.Fatal inside testing.Benchmark yields a zero result instead
+			// of aborting; don't let it corrupt the snapshot silently.
+			fmt.Fprintf(os.Stderr, "benchmark %s failed (see error above)\n", name)
+			os.Exit(1)
+		}
+		if run == 0 || float64(br.NsPerOp()) < res.NsPerOp {
+			res.Iterations = br.N
+			res.NsPerOp = float64(br.NsPerOp())
+			res.AllocsPerOp = br.AllocsPerOp()
+			res.BytesPerOp = br.AllocedBytesPerOp()
+		}
+	}
+	return res
+}
+
+// measure runs a backend step benchmark and captures one representative
+// simulated-cost report alongside the wall-clock minimum.
 func measure(name string, back model.Backend, batch model.Batch) Result {
 	rep := back.ExecuteStep(batch) // warm the arenas; grab sim counters
-	br := testing.Benchmark(func(b *testing.B) {
+	res := measureMin(name, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if r := back.ExecuteStep(batch); r.Err != nil {
@@ -83,52 +120,39 @@ func measure(name string, back model.Backend, batch model.Batch) Result {
 			}
 		}
 	})
-	if br.N == 0 {
-		// b.Fatal inside testing.Benchmark yields a zero result instead of
-		// aborting; don't let it corrupt the snapshot silently.
-		fmt.Fprintf(os.Stderr, "benchmark %s failed (see error above)\n", name)
-		os.Exit(1)
-	}
-	return Result{
-		Name:          name,
-		Iterations:    br.N,
-		NsPerOp:       float64(br.NsPerOp()),
-		AllocsPerOp:   br.AllocsPerOp(),
-		BytesPerOp:    br.AllocedBytesPerOp(),
-		SimTime:       rep.Time,
-		SimPhases:     rep.Phases,
-		SimCycles:     rep.NetworkCycles,
-		SimCopyAccess: rep.CopyAccesses,
-	}
+	res.SimTime = rep.Time
+	res.SimPhases = rep.Phases
+	res.SimCycles = rep.NetworkCycles
+	res.SimCopyAccess = rep.CopyAccesses
+	return res
 }
 
 // measureMicro runs a plain function benchmark.
 func measureMicro(name string, fn func()) Result {
 	fn() // warm the arenas
-	br := testing.Benchmark(func(b *testing.B) {
+	return measureMin(name, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			fn()
 		}
 	})
-	if br.N == 0 {
-		fmt.Fprintf(os.Stderr, "benchmark %s failed\n", name)
-		os.Exit(1)
-	}
-	return Result{
-		Name:        name,
-		Iterations:  br.N,
-		NsPerOp:     float64(br.NsPerOp()),
-		AllocsPerOp: br.AllocsPerOp(),
-		BytesPerOp:  br.AllocedBytesPerOp(),
-	}
 }
 
 func main() {
 	testing.Init() // register test.* flags so test.benchtime is settable
 	out := flag.String("out", ".", "directory for the BENCH_<date>.json snapshot")
 	benchtime := flag.Duration("benchtime", time.Second, "target duration per benchmark")
+	diff := flag.Bool("diff", false, "compare the newest two snapshots in -out and exit 1 on zero-alloc regressions")
+	threshold := flag.Float64("threshold", 0.10, "ns/op regression tolerance for -diff (0.10 = 10%)")
+	parallel := flag.Int("parallel", -1, "router workers for the parallel E5 comparison runs (-1 = GOMAXPROCS)")
+	runs := flag.Int("runs", benchRuns, "repeats per benchmark; the minimum is recorded")
 	flag.Parse()
+	if *runs > 0 {
+		benchRuns = *runs
+	}
+	if *diff {
+		os.Exit(runDiff(*out, *threshold))
+	}
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtime:", err)
 		os.Exit(1)
@@ -156,6 +180,26 @@ func main() {
 		mt := core.NewMOT2D(n, core.MOTConfig{})
 		snap.Results = append(snap.Results,
 			measure(fmt.Sprintf("E5MOT2DStep/n=%d", n), mt, permBatch(n, 5)))
+	}
+	// Serial-vs-parallel router comparison at production sizes: the SAME
+	// machine measured with the serial reference router and again with the
+	// multi-core router (bit-for-bit identical simulation, wall clock
+	// only). n=1024 rides K=1.5/δ=1.8 so the 16384-side grid stays inside
+	// the 32-bit dense edge index range.
+	for _, n := range []int{256, 1024} {
+		cfg := core.MOTConfig{}
+		if n >= 1024 {
+			cfg = core.MOTConfig{K: 1.5, Delta: 1.8}
+		}
+		mt := core.NewMOT2D(n, cfg)
+		batch := permBatch(n, 5)
+		mt.SetParallelism(1)
+		serial := measure(fmt.Sprintf("E5MOT2DStepSerial/n=%d", n), mt, batch)
+		mt.SetParallelism(*parallel)
+		par := measure(fmt.Sprintf("E5MOT2DStepParallel/n=%d", n), mt, batch)
+		snap.Results = append(snap.Results, serial, par)
+		fmt.Printf("E5 n=%d parallel speedup: %.2fx (%d workers)\n",
+			n, serial.NsPerOp/par.NsPerOp, mt.Net.Parallelism())
 	}
 	for _, n := range []int{16, 64} {
 		lu := core.NewLuccio(n, core.MOTConfig{})
@@ -188,9 +232,13 @@ func main() {
 		snap.Results = append(snap.Results, measureMicro("MOTNetworkPhase/side=1024", func() {
 			nw.RoutePhase(attempts)
 		}))
+		nw.SetParallelism(*parallel)
+		snap.Results = append(snap.Results, measureMicro("MOTNetworkPhaseParallel/side=1024", func() {
+			nw.RoutePhase(attempts)
+		}))
 	}
 
-	path := filepath.Join(*out, "BENCH_"+snap.Date+".json")
+	path := snapshotPath(*out, snap.Date)
 	data, err := json.MarshalIndent(snap, "", " ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "marshal:", err)

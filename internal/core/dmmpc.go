@@ -44,6 +44,11 @@ type Config struct {
 	// TwoStage selects the faithful UW'87 two-stage schedule (bounded
 	// stage 1, pipelined stage 2) instead of the plain round-robin loop.
 	TwoStage bool
+	// Parallelism is the interconnect routing worker count, forwarded via
+	// quorum.ParallelismSetter. The DMMPC's ideal complete bipartite graph
+	// routes a phase in one pass and ignores the knob; it exists here so
+	// machine configs stay drop-in interchangeable with MOTConfig.
+	Parallelism int
 }
 
 func (c *Config) fill() {
@@ -79,6 +84,9 @@ func NewDMMPC(n int, cfg Config) *DMMPC {
 	}
 	if cfg.TwoStage {
 		m.SetTwoStage(&quorum.TwoStageConfig{})
+	}
+	if cfg.Parallelism != 0 {
+		m.SetParallelism(cfg.Parallelism)
 	}
 	return m
 }

@@ -33,6 +33,11 @@ type MOTConfig struct {
 	// stage-2 module queues served at O(log n) per phase — the pipelining
 	// Luccio et al. (1990) and Theorem 3 use.
 	TwoStage bool
+	// Parallelism selects the network router's worker count: 0 consults
+	// PRAMSIM_PARALLEL (default serial), 1 forces the serial reference
+	// router, > 1 uses that many workers, < 0 uses GOMAXPROCS. Routing is
+	// bit-for-bit identical at every setting (see repro/internal/mot).
+	Parallelism int
 }
 
 func (c *MOTConfig) fill() {
@@ -74,7 +79,7 @@ func NewMOT2D(n int, cfg MOTConfig) *MOT2D {
 	}
 	mp := memmap.Generate(p, cfg.Seed)
 	nw := mot.NewNetwork(side, mot.ModulesAtLeaves,
-		mot.Config{Policy: cfg.Policy, DualRail: cfg.DualRail})
+		mot.Config{Policy: cfg.Policy, DualRail: cfg.DualRail, Parallelism: cfg.Parallelism})
 	st := quorum.NewStore(mp)
 	name := fmt.Sprintf("2DMOT(n=%d, side=%d, r=%d", n, side, p.R())
 	if cfg.DualRail {
@@ -113,7 +118,8 @@ func NewLuccio(n int, cfg MOTConfig) *Luccio {
 	side := xmath.CeilPow2(n)
 	p := memmap.LemmaOne(n, cfg.K)
 	mp := memmap.Generate(p, cfg.Seed)
-	nw := mot.NewNetwork(side, mot.ModulesAtRoots, mot.Config{Policy: cfg.Policy})
+	nw := mot.NewNetwork(side, mot.ModulesAtRoots,
+		mot.Config{Policy: cfg.Policy, Parallelism: cfg.Parallelism})
 	st := quorum.NewStore(mp)
 	name := fmt.Sprintf("2DMOT-Luccio90(n=%d, side=%d, r=%d)", n, side, p.R())
 	m := &Luccio{

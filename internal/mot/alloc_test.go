@@ -41,9 +41,12 @@ func TestRoutePhaseZeroAllocs(t *testing.T) {
 		{"leaves-drop-dual", ModulesAtLeaves, DropOnCollision, true},
 		{"roots-drop", ModulesAtRoots, DropOnCollision, false},
 	}
+	if raceEnabled {
+		t.Skip("allocation invariants are measured without the race detector")
+	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			nw := NewNetwork(64, c.pl, Config{Policy: c.pol, DualRail: c.dualRail})
+			nw := NewNetwork(64, c.pl, Config{Policy: c.pol, DualRail: c.dualRail, Parallelism: 1})
 			attempts := routeAttempts(64, 64, c.dualRail, 9)
 			for i := 0; i < 3; i++ { // grow the arenas
 				nw.RoutePhase(attempts)
@@ -52,6 +55,42 @@ func TestRoutePhaseZeroAllocs(t *testing.T) {
 				nw.RoutePhase(attempts)
 			}); avg != 0 {
 				t.Errorf("RoutePhase allocates %.1f/op in steady state, want 0", avg)
+			}
+		})
+	}
+}
+
+// TestRoutePhaseParallelZeroAllocs extends the zero-allocation invariant
+// to the parallel router: once the pool's workers, shards, union-find and
+// component buffers have warmed, a phase performs zero heap allocations
+// across ALL goroutines (AllocsPerRun counts process-wide mallocs).
+func TestRoutePhaseParallelZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation invariants are measured without the race detector")
+	}
+	cases := []struct {
+		name     string
+		pl       Placement
+		pol      Policy
+		dualRail bool
+		workers  int
+	}{
+		{"leaves-drop-w2", ModulesAtLeaves, DropOnCollision, false, 2},
+		{"leaves-queue-w4", ModulesAtLeaves, QueueOnCollision, false, 4},
+		{"leaves-drop-dual-w4", ModulesAtLeaves, DropOnCollision, true, 4},
+		{"roots-drop-w3", ModulesAtRoots, DropOnCollision, false, 3},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			nw := NewNetwork(64, c.pl, Config{Policy: c.pol, DualRail: c.dualRail, Parallelism: c.workers})
+			attempts := routeAttempts(64, 64, c.dualRail, 9)
+			for i := 0; i < 5; i++ { // grow the arenas, warm the pool
+				nw.RoutePhase(attempts)
+			}
+			if avg := testing.AllocsPerRun(20, func() {
+				nw.RoutePhase(attempts)
+			}); avg != 0 {
+				t.Errorf("parallel RoutePhase allocates %.1f/op in steady state, want 0", avg)
 			}
 		})
 	}

@@ -1,0 +1,215 @@
+// Differential test harness: the parallel router is only correct if it is
+// BIT-FOR-BIT the serial reference router — same grants, same cycle
+// counts, same loads, same Stats — on every topology, policy, rail and
+// schedule. These tests drive serial and parallel networks through
+// identical phase sequences and demand exact equality, at the RoutePhase
+// level and through the full quorum machine (where retry feedback, the
+// two-stage schedule and bandwidth changes amplify any divergence across
+// steps).
+package mot_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/mot"
+	"repro/internal/quorum"
+)
+
+// diffAttempts draws one phase's attempt set. Unlike the engine's
+// schedules it may emit duplicate and descending processor ids, exercising
+// the router's sort path and priority tie-breaking.
+func diffAttempts(rng *rand.Rand, side int, dualRail bool) []quorum.Attempt {
+	banks := side
+	if dualRail {
+		banks = 2 * side
+	}
+	k := 1 + rng.Intn(2*side)
+	attempts := make([]quorum.Attempt, k)
+	for i := range attempts {
+		attempts[i] = quorum.Attempt{
+			Proc:   rng.Intn(side),
+			Module: rng.Intn(banks),
+			Var:    rng.Intn(4096),
+			Copy:   rng.Intn(8),
+			Write:  rng.Intn(2) == 0,
+		}
+	}
+	return attempts
+}
+
+// runDifferentialPhases drives a serial and a parallel network through the
+// same phase sequence and fails on the first observable divergence.
+func runDifferentialPhases(t *testing.T, side int, pl mot.Placement, cfg mot.Config, workers int, seed int64, phases int) {
+	t.Helper()
+	serialCfg := cfg
+	serialCfg.Parallelism = 1
+	parCfg := cfg
+	parCfg.Parallelism = workers
+	ser := mot.NewNetwork(side, pl, serialCfg)
+	par := mot.NewNetwork(side, pl, parCfg)
+	if par.Parallelism() != workers {
+		t.Fatalf("parallel network resolved %d workers, want %d", par.Parallelism(), workers)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for phase := 0; phase < phases; phase++ {
+		attempts := diffAttempts(rng, side, cfg.DualRail)
+		if phase == phases/2 {
+			// Mid-sequence bandwidth change, like the two-stage schedule's
+			// pipelined stage 2.
+			ser.SetBandwidth(3)
+			par.SetBandwidth(3)
+		}
+		gs, cs, ls := ser.RoutePhase(attempts)
+		gp, cp, lp := par.RoutePhase(attempts)
+		if cs != cp || ls != lp {
+			t.Fatalf("phase %d: serial (cycles=%d load=%d) != parallel (cycles=%d load=%d)",
+				phase, cs, ls, cp, lp)
+		}
+		for i := range gs {
+			if gs[i] != gp[i] {
+				t.Fatalf("phase %d: grant[%d] serial=%v parallel=%v", phase, i, gs[i], gp[i])
+			}
+		}
+	}
+	if ser.Stats() != par.Stats() {
+		t.Fatalf("stats diverged:\n serial   %+v\n parallel %+v", ser.Stats(), par.Stats())
+	}
+}
+
+// TestDifferentialRoutePhase sweeps randomized attempt streams over
+// placements, policies, rails, module capacities and worker counts,
+// asserting the parallel router reproduces the serial router exactly.
+func TestDifferentialRoutePhase(t *testing.T) {
+	type tc struct {
+		pl       mot.Placement
+		pol      mot.Policy
+		dualRail bool
+		capacity int
+	}
+	cases := []tc{
+		{mot.ModulesAtLeaves, mot.DropOnCollision, false, 1},
+		{mot.ModulesAtLeaves, mot.QueueOnCollision, false, 1},
+		{mot.ModulesAtLeaves, mot.DropOnCollision, true, 1},
+		{mot.ModulesAtLeaves, mot.QueueOnCollision, true, 2},
+		{mot.ModulesAtRoots, mot.DropOnCollision, false, 1},
+		{mot.ModulesAtRoots, mot.QueueOnCollision, false, 2},
+	}
+	for _, side := range []int{8, 16, 32} {
+		for ci, c := range cases {
+			for _, workers := range []int{2, 3, 8} {
+				name := fmt.Sprintf("side=%d/case=%d/pl=%v/pol=%d/dual=%v/w=%d",
+					side, ci, c.pl, c.pol, c.dualRail, workers)
+				t.Run(name, func(t *testing.T) {
+					for seed := int64(1); seed <= 4; seed++ {
+						runDifferentialPhases(t, side, c.pl,
+							mot.Config{Policy: c.pol, DualRail: c.dualRail, ModuleCapacity: c.capacity},
+							workers, seed*977, 8)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestDifferentialSetParallelismMidStream switches one network between
+// serial and parallel routing between phases; the cycle-stamped arenas
+// must carry over without contaminating either mode.
+func TestDifferentialSetParallelismMidStream(t *testing.T) {
+	const side = 16
+	ser := mot.NewNetwork(side, mot.ModulesAtLeaves, mot.Config{Parallelism: 1})
+	mix := mot.NewNetwork(side, mot.ModulesAtLeaves, mot.Config{Parallelism: 1})
+	rng := rand.New(rand.NewSource(11))
+	for phase := 0; phase < 12; phase++ {
+		mix.SetParallelism(1 + phase%4) // 1,2,3,4,1,...
+		attempts := diffAttempts(rng, side, false)
+		gs, cs, ls := ser.RoutePhase(attempts)
+		gm, cm, lm := mix.RoutePhase(attempts)
+		if cs != cm || ls != lm {
+			t.Fatalf("phase %d (workers=%d): cycles/load diverged: %d/%d vs %d/%d",
+				phase, mix.Parallelism(), cs, ls, cm, lm)
+		}
+		for i := range gs {
+			if gs[i] != gm[i] {
+				t.Fatalf("phase %d: grant[%d] diverged", phase, i)
+			}
+		}
+	}
+	if ser.Stats() != mix.Stats() {
+		t.Fatalf("stats diverged:\n serial %+v\n mixed  %+v", ser.Stats(), mix.Stats())
+	}
+}
+
+// randomBatch draws one P-RAM step with mixed reads, writes and no-ops
+// over a small hot address range (maximizing conflicts and retries).
+func randomBatch(rng *rand.Rand, n, cells int) model.Batch {
+	batch := model.NewBatch(n)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			batch[i] = model.Request{Proc: i, Op: model.OpRead, Addr: rng.Intn(cells)}
+		case 1:
+			batch[i] = model.Request{Proc: i, Op: model.OpWrite, Addr: rng.Intn(cells), Value: model.Word(rng.Int63n(1 << 20))}
+		default:
+			batch[i] = model.Request{Proc: i, Op: model.OpNone}
+		}
+	}
+	return batch
+}
+
+// stepFingerprint collapses a StepReport to its comparable fields (Values
+// aliases a reusable buffer, so it is copied into the fingerprint string).
+func stepFingerprint(rep model.StepReport) string {
+	return fmt.Sprintf("t=%d ph=%d cyc=%d copies=%d cont=%d err=%v vals=%v",
+		rep.Time, rep.Phases, rep.NetworkCycles, rep.CopyAccesses,
+		rep.ModuleContention, rep.Err, rep.Values)
+}
+
+// TestDifferentialMachineSteps runs whole quorum-machine step streams —
+// priority mode, dual rail and the two-stage schedule — on a serial and a
+// parallel MOT2D and compares every StepReport and the final memory image.
+// Retries feed each phase's attempt set from the previous phase's grants,
+// so any single-phase divergence compounds and is caught here.
+func TestDifferentialMachineSteps(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  core.MOTConfig
+	}{
+		{"plain", core.MOTConfig{}},
+		{"dualrail", core.MOTConfig{DualRail: true}},
+		{"twostage", core.MOTConfig{TwoStage: true}},
+		{"dualrail-twostage", core.MOTConfig{DualRail: true, TwoStage: true}},
+	}
+	const n, steps = 32, 6
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			serCfg := c.cfg
+			serCfg.Parallelism = 1
+			parCfg := c.cfg
+			parCfg.Parallelism = 4
+			ser := core.NewMOT2D(n, serCfg)
+			par := core.NewMOT2D(n, parCfg)
+			rng := rand.New(rand.NewSource(23))
+			cells := n * 2
+			for s := 0; s < steps; s++ {
+				batch := randomBatch(rng, n, cells)
+				fs := stepFingerprint(ser.ExecuteStep(batch))
+				fp := stepFingerprint(par.ExecuteStep(batch))
+				if fs != fp {
+					t.Fatalf("step %d diverged:\n serial   %s\n parallel %s", s, fs, fp)
+				}
+			}
+			for a := 0; a < cells; a++ {
+				if vs, vp := ser.ReadCell(a), par.ReadCell(a); vs != vp {
+					t.Fatalf("cell %d: serial=%d parallel=%d", a, vs, vp)
+				}
+			}
+			if ss, sp := ser.Net.Stats(), par.Net.Stats(); ss != sp {
+				t.Fatalf("network stats diverged:\n serial   %+v\n parallel %+v", ss, sp)
+			}
+		})
+	}
+}

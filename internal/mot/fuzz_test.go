@@ -78,6 +78,74 @@ func TestQueuePolicyAlwaysGrantsAll(t *testing.T) {
 	}
 }
 
+// FuzzRoutePhase is the differential harness as a fuzz target: a fuzzed
+// byte string drives topology choice and per-phase attempt streams through
+// a serial and a parallel network, which must stay bit-for-bit identical
+// (grants, cycles, loads, stats) on every input the fuzzer invents.
+func FuzzRoutePhase(f *testing.F) {
+	f.Add(int64(1), uint8(0), []byte{0x03, 0x41, 0x7f, 0x10, 0xee})
+	f.Add(int64(42), uint8(3), []byte{0xff, 0x00, 0xa5, 0x5a})
+	f.Add(int64(7), uint8(13), []byte{0x01})
+	f.Fuzz(func(t *testing.T, seed int64, shape uint8, stream []byte) {
+		side := 8 << (shape % 3) // 8..32
+		pl := ModulesAtLeaves
+		if shape&4 != 0 {
+			pl = ModulesAtRoots
+		}
+		pol := DropOnCollision
+		if shape&8 != 0 {
+			pol = QueueOnCollision
+		}
+		dualRail := pl == ModulesAtLeaves && shape&16 != 0
+		cfg := Config{Policy: pol, DualRail: dualRail}
+		serCfg, parCfg := cfg, cfg
+		serCfg.Parallelism = 1
+		parCfg.Parallelism = 2 + int(shape%3)
+		ser := NewNetwork(side, pl, serCfg)
+		par := NewNetwork(side, pl, parCfg)
+		rng := rand.New(rand.NewSource(seed))
+		banks := side
+		if dualRail {
+			banks = 2 * side
+		}
+		// Each stream byte seeds one attempt; phase boundaries every
+		// `side` attempts keep phases non-trivial.
+		var attempts []quorum.Attempt
+		flush := func() {
+			if len(attempts) == 0 {
+				return
+			}
+			gs, cs, ls := ser.RoutePhase(attempts)
+			gp, cp, lp := par.RoutePhase(attempts)
+			if cs != cp || ls != lp {
+				t.Fatalf("serial (cycles=%d load=%d) != parallel (cycles=%d load=%d)", cs, ls, cp, lp)
+			}
+			for i := range gs {
+				if gs[i] != gp[i] {
+					t.Fatalf("grant[%d]: serial=%v parallel=%v", i, gs[i], gp[i])
+				}
+			}
+			attempts = attempts[:0]
+		}
+		for _, b := range stream {
+			attempts = append(attempts, quorum.Attempt{
+				Proc:   int(b) % side,
+				Module: (int(b) * 7 % banks) ^ rng.Intn(banks),
+				Var:    rng.Intn(512),
+				Copy:   int(b >> 5),
+				Write:  b&1 == 1,
+			})
+			if len(attempts) >= side {
+				flush()
+			}
+		}
+		flush()
+		if ser.Stats() != par.Stats() {
+			t.Fatalf("stats diverged:\n serial   %+v\n parallel %+v", ser.Stats(), par.Stats())
+		}
+	})
+}
+
 // TestStatsMonotone: cumulative counters never decrease across phases.
 func TestStatsMonotone(t *testing.T) {
 	nw := NewNetwork(16, ModulesAtLeaves, Config{})

@@ -39,6 +39,14 @@ type Config struct {
 	// in [side, 2·side) are ROW banks (routed via requestPathRowRail),
 	// doubling the number of independent serialization points.
 	DualRail bool
+	// Parallelism selects how many OS workers advance a phase's
+	// tree-connectivity components concurrently. 0 (the default) consults
+	// the PRAMSIM_PARALLEL environment variable and falls back to the
+	// serial reference router; 1 forces the serial router; values > 1 use
+	// that many workers; negative values use GOMAXPROCS. The parallel
+	// router is bit-for-bit identical to the serial one (see the package
+	// doc and the differential tests).
+	Parallelism int
 }
 
 // Stats accumulates network-level counters across phases.
@@ -62,8 +70,14 @@ type Stats struct {
 // are pooled by value, and each cycle iterates a compacted active-packet
 // list instead of rescanning done packets. The invariant is locked in by
 // TestRoutePhaseZeroAllocs; behavior is locked to the reference
-// implementation by the golden-trace tests. The arena makes a Network
-// single-threaded: one phase at a time.
+// implementation by the golden-trace tests.
+//
+// With Config.Parallelism > 1 a phase's packets are partitioned into
+// tree-connectivity components and advanced concurrently on a bounded
+// worker pool (see parallel.go); results are merged in canonical component
+// order, so grants, cycle counts and Stats stay bit-for-bit identical to
+// the serial router. The arenas still make a Network single-threaded from
+// the caller's point of view: one phase at a time.
 type Network struct {
 	topo Topology
 	cfg  Config
@@ -73,12 +87,13 @@ type Network struct {
 
 	phase int64 // RoutePhase invocation counter; stamps the intern tables
 
-	// Edge claim-set: cycle-stamped open addressing keyed by dense edge
-	// index. A slot whose cycle differs from the current one is free, so
-	// the table never needs clearing — per cycle it holds at most one
-	// entry per live packet.
-	edgeSlots []edgeSlot
-	edgeMask  int
+	// shards hold the per-worker slices of the router arena: the edge
+	// claim-set plus the per-component cycle-loop accumulators. shards[0]
+	// doubles as the serial router's state; the pool workers own
+	// shards[1:]. See parallel.go.
+	shards []shard
+	par    int      // resolved worker count (1 = serial reference router)
+	pool   *motPool // lazily started worker pool when par > 1
 
 	// Module interning: grid module id -> phase-local id, open addressing.
 	modSlotKey   []int32
@@ -96,6 +111,21 @@ type Network struct {
 	order   []int32 // processing order when attempts arrive unsorted
 	pathBuf []int32 // all packet paths, dense edge indices
 	granted []bool
+	// pktTrees stores, per packet, the union-find node ids of the up-to-
+	// three trees its path traverses (3 entries each, −1 when unused).
+	// Together with the module node they define the packet's connectivity
+	// component — the unit of parallel advancement. Kept out of packet so
+	// the cycle loop's working set stays at 32 bytes per packet.
+	pktTrees []int32
+
+	// Tree-connectivity partition scratch (parallel router only).
+	ufParent []int32
+	ufSize   []int32
+	ufStamp  []int64
+	compCnt  []int32 // per component: packet count, then fill cursor
+	compOf   []int32 // per active position: component id
+	compEnd  []int32 // per component: end offset into compPkts
+	compPkts []int32 // packet indices grouped by component, priority order
 }
 
 // edgeSlot is one entry of the cycle-stamped edge claim-set.
@@ -116,7 +146,9 @@ func NewNetwork(side int, pl Placement, cfg Config) *Network {
 	if int64(topo.DenseEdgeSpace()) > int64(1)<<31-1 {
 		panic("mot: grid side too large for 32-bit dense edge indices")
 	}
-	return &Network{topo: topo, cfg: cfg}
+	nw := &Network{topo: topo, cfg: cfg, shards: make([]shard, 1)}
+	nw.SetParallelism(cfg.Parallelism)
+	return nw
 }
 
 // Topology returns the network's shape.
@@ -139,8 +171,14 @@ func (nw *Network) SetBandwidth(perPhase int) {
 // Stats returns accumulated counters.
 func (nw *Network) Stats() Stats { return nw.stats }
 
+// Parallelism returns the resolved worker count (1 = serial).
+func (nw *Network) Parallelism() int { return nw.par }
+
 // packet is one in-flight copy access. Paths live in the network's shared
 // path arena; packets are pooled by value and never escape to the heap.
+// The struct is kept at 32 bytes — two per cache line — because the cycle
+// loop is memory-bound on it; cold per-packet data (the partition's tree
+// nodes) lives in the parallel pktTrees array instead.
 type packet struct {
 	attempt int32 // index into the phase's attempt slice
 	prio    int32 // processor id: lower wins collisions
@@ -155,17 +193,7 @@ type packet struct {
 // ensureTables sizes the claim-set, intern tables and per-phase buffers for
 // a phase of k attempts, growing (and only growing) the reusable arenas.
 func (nw *Network) ensureTables(k int) {
-	// Per cycle at most one edge claim per live packet, so 4k slots keep
-	// the per-cycle load factor of the claim-set under 25%.
-	need := 4 * k
-	if nw.edgeMask == 0 || len(nw.edgeSlots) < need {
-		sz := 64
-		for sz < need {
-			sz *= 2
-		}
-		nw.edgeSlots = make([]edgeSlot, sz)
-		nw.edgeMask = sz - 1
-	}
+	nw.shards[0].ensure(k)
 
 	needMod := 2 * k
 	if nw.modMask == 0 || len(nw.modSlotKey) < needMod {
@@ -186,26 +214,6 @@ func (nw *Network) ensureTables(k int) {
 	nw.modLoad = nw.modLoad[:k]
 	nw.modServed = nw.modServed[:k]
 	nw.modServedCnt = nw.modServedCnt[:k]
-}
-
-// claimEdge records that a packet crosses the given edge this cycle.
-// It reports false if a (higher-priority) packet already claimed the edge
-// this cycle. Slots stamped with an older cycle count as free, so the set
-// clears itself as the clock advances.
-func (nw *Network) claimEdge(key int32, cycle int64) bool {
-	h := int((uint64(uint32(key))*0x9E3779B97F4A7C15)>>40) & nw.edgeMask
-	for {
-		s := &nw.edgeSlots[h]
-		if s.cycle != cycle {
-			s.cycle = cycle
-			s.key = key
-			return true
-		}
-		if s.key == key {
-			return false
-		}
-		h = (h + 1) & nw.edgeMask
-	}
 }
 
 // internModule maps a grid module id to a compact phase-local id.
@@ -251,6 +259,8 @@ func (nw *Network) RoutePhase(attempts []quorum.Attempt) ([]bool, int64, int) {
 	}
 	pkts := nw.pkts[:len(attempts)]
 	nw.pkts = pkts
+	nw.pktTrees = growSlice(nw.pktTrees, 3*len(attempts))
+	pktTrees := nw.pktTrees
 	pathBuf := nw.pathBuf[:0]
 	sorted := true
 	for i, a := range attempts {
@@ -285,8 +295,14 @@ func (nw *Network) RoutePhase(attempts []quorum.Attempt) ([]bool, int64, int) {
 		}
 		nw.modLoad[lm]++
 		off := int32(len(pathBuf))
+		// Tree-partition nodes: row trees are [0, side), column trees
+		// [side, 2·side); the module node is added during partitioning.
+		pktTrees[3*i], pktTrees[3*i+1], pktTrees[3*i+2] = int32(a.Proc), int32(side+col), -1
 		if rowRail {
 			pathBuf = nw.topo.appendRequestPathRowRailDense(pathBuf, a.Proc, row, col)
+			// The row rail climbs column tree `row`, then switches to ROW
+			// tree `row` for the final delivery.
+			pktTrees[3*i+1], pktTrees[3*i+2] = int32(side+row), int32(row)
 		} else {
 			pathBuf = nw.topo.appendRequestPathDense(pathBuf, a.Proc, row, col)
 		}
@@ -331,8 +347,21 @@ func (nw *Network) RoutePhase(attempts []quorum.Attempt) ([]bool, int64, int) {
 		nw.order = order
 		active = append(active, order...)
 	}
+	nw.active = active[:0]
 
 	start := nw.clock
+	if nw.par > 1 && len(active) > 1 {
+		return granted, nw.routeParallel(active, start), maxLoad
+	}
+
+	// Serial reference cycle loop. advance() is its component-scoped twin
+	// for the parallel router: the two bodies MUST stay textually parallel
+	// (the golden traces, the differential tests and FuzzRoutePhase pin
+	// them bit-for-bit). The loop lives inline here rather than calling
+	// advance() because extracting it costs ~15% on the small-phase
+	// E5/Luccio benchmarks (worse code layout for the single-component
+	// case); the parallel path amortizes the call per component instead.
+	slots, mask := nw.shards[0].slots, nw.shards[0].mask
 	for len(active) > 0 {
 		nw.clock++
 		cycle := nw.clock
@@ -360,7 +389,7 @@ func (nw *Network) RoutePhase(attempts []quorum.Attempt) ([]bool, int64, int) {
 			}
 			// Edge traversal.
 			e := pathBuf[pk.pathOff+pk.pos]
-			if !nw.claimEdge(e, cycle) {
+			if !claimEdge(slots, mask, e, cycle) {
 				// Collision: someone higher-priority took this edge now.
 				if nw.cfg.Policy == DropOnCollision && !pk.served {
 					nw.stats.Collisions++
@@ -385,10 +414,137 @@ func (nw *Network) RoutePhase(attempts []quorum.Attempt) ([]bool, int64, int) {
 			nw.stats.MaxQueue = queued
 		}
 	}
-	nw.active = active[:0]
 	elapsed := nw.clock - start
 	nw.stats.Cycles += elapsed
 	return granted, elapsed, maxLoad
+}
+
+// advance runs the synchronous cycle loop over one component's packets —
+// act, in priority order — until every packet has returned or been refused.
+// It is the parallel router's component-scoped twin of the serial loop
+// inlined in RoutePhase: the two bodies MUST stay textually parallel, and
+// the golden traces, differential tests and FuzzRoutePhase pin them
+// bit-for-bit. act is compacted in place; all cross-packet state it
+// touches (edge claims, per-cycle counters) lives in sh, and all
+// per-module state is indexed by phase-local module ids that the partition
+// confines to a single component.
+func (nw *Network) advance(sh *shard, act []int32, start int64) {
+	// Hoist every hot field into locals: the cycle loop must not juggle
+	// two indirection roots (nw and sh), or register spills eat the gains
+	// the arena design bought.
+	pkts := nw.pkts
+	pathBuf := nw.pathBuf
+	granted := nw.granted
+	modServed := nw.modServed
+	modServedCnt := nw.modServedCnt
+	capacity := nw.cfg.ModuleCapacity
+	drop := nw.cfg.Policy == DropOnCollision
+	slots := sh.slots
+	mask := sh.mask
+	var hops, collisions, served int64
+	clock := start
+	for len(act) > 0 {
+		clock++
+		queued := int32(0)
+		w := 0
+		for _, pi := range act {
+			pk := &pkts[pi]
+			// Module service point.
+			if pk.pos == pk.service && !pk.served {
+				lm := pk.module
+				if modServed[lm] != clock {
+					modServed[lm] = clock
+					modServedCnt[lm] = 0
+				}
+				if int(modServedCnt[lm]) < capacity {
+					modServedCnt[lm]++
+					pk.served = true
+					served++
+				} else {
+					queued++ // wait at the module leaf (stage-2 queue)
+				}
+				act[w] = pi
+				w++
+				continue
+			}
+			// Edge traversal.
+			e := pathBuf[pk.pathOff+pk.pos]
+			if !claimEdge(slots, mask, e, clock) {
+				// Collision: someone higher-priority took this edge now.
+				if drop && !pk.served {
+					collisions++
+					continue // refused: drop from the active list
+				}
+				// Replies (and Queue policy) wait for the next cycle.
+				act[w] = pi
+				w++
+				continue
+			}
+			hops++
+			pk.pos++
+			if pk.pos == pk.pathLen {
+				granted[pk.attempt] = true
+				continue // returned: drop from the active list
+			}
+			act[w] = pi
+			w++
+		}
+		act = act[:w]
+		// Record this cycle's module backlog at its offset within the
+		// phase, so per-cycle depths from concurrently advanced components
+		// sum to the serial router's global count at merge time. Zero
+		// depths are implicit (merge treats offsets past len as 0), so the
+		// common all-served cycle costs one register compare.
+		if queued != 0 {
+			t := int(clock - start)
+			for len(sh.queued) < t {
+				sh.queued = append(sh.queued, 0)
+			}
+			sh.queued[t-1] += queued
+		}
+	}
+	sh.hops += hops
+	sh.collisions += collisions
+	sh.served += served
+	if e := clock - start; e > sh.elapsed {
+		sh.elapsed = e
+	}
+}
+
+// merge folds the phase's shard accumulators into the network's stats and
+// clock. Counter sums are order-independent (exact int64 addition), the
+// makespan is the max over shards, and the per-cycle module backlogs are
+// summed offset-wise across shards before the running MaxQueue comparison —
+// exactly the serial router's per-global-cycle count.
+func (nw *Network) merge(shards []shard, start int64) int64 {
+	var elapsed int64
+	maxT := 0
+	for i := range shards {
+		sh := &shards[i]
+		nw.stats.Hops += sh.hops
+		nw.stats.Collisions += sh.collisions
+		nw.stats.Served += sh.served
+		if sh.elapsed > elapsed {
+			elapsed = sh.elapsed
+		}
+		if len(sh.queued) > maxT {
+			maxT = len(sh.queued)
+		}
+	}
+	for t := 0; t < maxT; t++ {
+		q := 0
+		for i := range shards {
+			if t < len(shards[i].queued) {
+				q += int(shards[i].queued[t])
+			}
+		}
+		if q > nw.stats.MaxQueue {
+			nw.stats.MaxQueue = q
+		}
+	}
+	nw.clock = start + elapsed
+	nw.stats.Cycles += elapsed
+	return elapsed
 }
 
 // mix64 is splitmix64's finalizer: a cheap, deterministic hash used to

@@ -1,0 +1,371 @@
+// Multi-core phase routing.
+//
+// A phase's packets are partitioned into TREE-CONNECTIVITY COMPONENTS:
+// the finest grouping in which two packets that share any row/column tree
+// (and hence possibly a tree edge) or any module leaf (and hence the
+// module's service capacity) land in the same group. Packets in different
+// components touch disjoint edge claim-sets, disjoint module counters and
+// disjoint packet/grant slots, so components can be advanced through the
+// whole synchronous cycle loop concurrently and independently — no
+// barriers inside the phase. The union-find runs over the 2a tree nodes
+// plus the phase's interned module nodes; each packet contributes the ≤ 3
+// trees its path traverses (stashed in packet.tree0..2 during setup) plus
+// its module node.
+//
+// Merging is deterministic by construction: grants and packet state are
+// written to disjoint indices, counter sums are exact integer additions,
+// the phase makespan is the max over components, and the per-cycle module
+// backlogs are aligned by cycle offset (every component starts at the same
+// global cycle) and summed before the MaxQueue comparison. The
+// differential tests and the golden traces pin the result bit-for-bit to
+// the serial router.
+//
+// The worker pool is bounded and persistent: exactly Parallelism shards
+// (the caller participates as worker 0; GOMAXPROCS is the default for
+// Parallelism < 0 — explicitly asking for more than GOMAXPROCS
+// oversubscribes the scheduler, which the differential and race tests use
+// on purpose to shake out interleavings on small machines). The pool is
+// reused across phases; each phase wakes at most min(components,
+// Parallelism)−1 background workers and dispatches components by atomic
+// counter — zero steady-state allocations
+// (TestRoutePhaseParallelZeroAllocs). A runtime cleanup stops the pool
+// when the Network becomes unreachable; workers only reach the Network
+// through a pool field that is set for the duration of a phase, so the
+// pool never keeps the Network alive.
+package mot
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// shard is one worker's slice of the router arena: an edge claim-set plus
+// the cycle-loop accumulators for the components the worker advances.
+// shards[0] doubles as the serial router's state.
+type shard struct {
+	// Edge claim-set: cycle-stamped open addressing keyed by dense edge
+	// index. A slot whose cycle differs from the current one is free, so
+	// the table never needs clearing — stale entries from other components
+	// or phases only ever cause extra probing, never a false collision,
+	// because claim outcomes depend solely on (cycle, key) equality.
+	slots []edgeSlot
+	mask  int
+
+	queued     []int32 // per cycle offset: module backlog, summed over components
+	hops       int64
+	collisions int64
+	served     int64
+	elapsed    int64 // max component makespan this phase
+
+	_ [64]byte // keep adjacent shards' hot counters off one cache line
+}
+
+// ensure sizes the claim-set for a phase of k attempts. Per cycle at most
+// one edge claim per live packet, so 4k slots keep the per-cycle load
+// factor under 25% even if every component lands on this shard.
+func (sh *shard) ensure(k int) {
+	need := 4 * k
+	if sh.mask == 0 || len(sh.slots) < need {
+		sz := 64
+		for sz < need {
+			sz *= 2
+		}
+		sh.slots = make([]edgeSlot, sz)
+		sh.mask = sz - 1
+	}
+}
+
+// begin resets the per-phase accumulators.
+func (sh *shard) begin() {
+	sh.queued = sh.queued[:0]
+	sh.hops, sh.collisions, sh.served, sh.elapsed = 0, 0, 0, 0
+}
+
+// claimEdge records that a packet crosses the given edge this cycle.
+// It reports false if a (higher-priority) packet already claimed the edge
+// this cycle. Slots stamped with an older cycle count as free, so the set
+// clears itself as the clock advances. Free function over a hoisted
+// (slots, mask) pair so the advance loop keeps the table in registers.
+func claimEdge(slots []edgeSlot, mask int, key int32, cycle int64) bool {
+	h := int((uint64(uint32(key))*0x9E3779B97F4A7C15)>>40) & mask
+	for {
+		s := &slots[h]
+		if s.cycle != cycle {
+			s.cycle = cycle
+			s.key = key
+			return true
+		}
+		if s.key == key {
+			return false
+		}
+		h = (h + 1) & mask
+	}
+}
+
+// motPool is the persistent worker pool of one parallel Network. The
+// calling goroutine acts as worker 0; workers 1..n−1 park on the start
+// channel between phases and pull components off an atomic cursor.
+type motPool struct {
+	stop     chan struct{} // closed by shutdown
+	stopOnce sync.Once
+	start    chan struct{} // one token per background worker per phase
+	wg       sync.WaitGroup
+	next     atomic.Int32
+
+	// Phase-shared state, written by the caller before the start tokens
+	// are sent (the sends publish it) and cleared when the phase ends so
+	// the pool never outlives-references the Network.
+	nw    *Network
+	ncomp int32
+	base  int64 // phase start cycle
+}
+
+// work is the body of one background worker goroutine.
+func (p *motPool) work(shardIdx int) {
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-p.start:
+		}
+		p.runShard(shardIdx)
+		p.wg.Done()
+	}
+}
+
+// runShard advances components on the given shard until the phase's
+// component cursor is exhausted.
+func (p *motPool) runShard(shardIdx int) {
+	nw := p.nw
+	sh := &nw.shards[shardIdx]
+	for {
+		c := p.next.Add(1) - 1
+		if c >= p.ncomp {
+			return
+		}
+		end := nw.compEnd[c]
+		beg := int32(0)
+		if c > 0 {
+			beg = nw.compEnd[c-1]
+		}
+		nw.advance(sh, nw.compPkts[beg:end], p.base)
+	}
+}
+
+// SetParallelism reconfigures the router's worker count: 0 consults the
+// PRAMSIM_PARALLEL environment variable (absent/off → serial), 1 forces
+// the serial reference router, > 1 uses exactly that many workers, < 0
+// uses GOMAXPROCS. Counts above GOMAXPROCS are honored, not clamped: they
+// oversubscribe the scheduler (and size a claim-set shard per worker),
+// which is deliberate for interleaving tests but pointless for speed.
+// Must not be called concurrently with RoutePhase. Both routers produce
+// bit-for-bit identical grants, cycles and Stats, so the knob is purely
+// about wall-clock speed.
+func (nw *Network) SetParallelism(workers int) {
+	workers = resolveParallelism(workers)
+	if workers == nw.par {
+		return
+	}
+	if nw.pool != nil {
+		// Worker-count change: retire the old pool's goroutines.
+		nw.pool.shutdown()
+		nw.pool = nil
+	}
+	nw.par = workers
+	if len(nw.shards) < workers {
+		grown := make([]shard, workers)
+		copy(grown, nw.shards)
+		nw.shards = grown
+	}
+}
+
+// resolveParallelism maps the Config.Parallelism / SetParallelism encoding
+// to a concrete worker count ≥ 1.
+func resolveParallelism(p int) int {
+	if p == 0 {
+		p = envParallelism()
+	}
+	if p < 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// envParallelism reads the PRAMSIM_PARALLEL environment variable: an
+// integer worker count, or "on"/"true"/"max" for GOMAXPROCS. Unset, empty,
+// unparsable or "off"/"false" select the serial router.
+func envParallelism() int {
+	switch v := os.Getenv("PRAMSIM_PARALLEL"); v {
+	case "", "off", "false", "0":
+		return 1
+	case "on", "true", "max":
+		return runtime.GOMAXPROCS(0)
+	default:
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return 1
+		}
+		return n
+	}
+}
+
+// ensurePool lazily starts the background workers (the calling goroutine
+// is worker 0, so par−1 goroutines are spawned).
+func (nw *Network) ensurePool() *motPool {
+	if nw.pool == nil {
+		p := &motPool{
+			stop:  make(chan struct{}),
+			start: make(chan struct{}, nw.par-1),
+		}
+		for i := 1; i < nw.par; i++ {
+			go p.work(i)
+		}
+		// Stop the workers when the Network is collected. The cleanup must
+		// not capture nw (that would keep it alive forever), and workers
+		// reach nw only via p.nw, which is cleared between phases.
+		runtime.AddCleanup(nw, (*motPool).shutdown, p)
+		nw.pool = p
+	}
+	return nw.pool
+}
+
+// shutdown retires the pool's background workers; safe to call twice (a
+// pool replaced by SetParallelism is shut down eagerly, and the Network's
+// runtime cleanup fires for it again at collection time).
+func (p *motPool) shutdown() {
+	p.stopOnce.Do(func() { close(p.stop) })
+}
+
+// routeParallel advances one phase's packets concurrently: partition the
+// active list (already in priority order) into tree-connectivity
+// components, dispatch the components to the worker pool, and merge the
+// shard accumulators. Falls back to the serial loop when everything is one
+// component.
+func (nw *Network) routeParallel(active []int32, start int64) int64 {
+	side := nw.topo.Side
+	// --- Union-find over 2·side tree nodes + modCount module nodes. ---
+	nodes := 2*side + int(nw.modCount)
+	if len(nw.ufParent) < nodes {
+		nw.ufParent = make([]int32, nodes)
+		nw.ufSize = make([]int32, nodes)
+		nw.ufStamp = make([]int64, nodes)
+	}
+	modBase := int32(2 * side)
+	for _, pi := range active {
+		t0, t1, t2 := nw.pktTrees[3*pi], nw.pktTrees[3*pi+1], nw.pktTrees[3*pi+2]
+		r := nw.ufUnion(nw.ufFind(t0), nw.ufFind(t1))
+		if t2 >= 0 {
+			r = nw.ufUnion(r, nw.ufFind(t2))
+		}
+		nw.ufUnion(r, nw.ufFind(modBase+nw.pkts[pi].module))
+	}
+	// --- Number components in order of first appearance (priority order),
+	// counting packets per component. The root's size field is repurposed
+	// as −(id+1) once all unions are done. ---
+	compCnt := nw.compCnt[:0]
+	compOf := nw.compOf[:0]
+	for _, pi := range active {
+		r := nw.ufFind(nw.pktTrees[3*pi])
+		var id int32
+		if s := nw.ufSize[r]; s >= 0 {
+			id = int32(len(compCnt))
+			nw.ufSize[r] = -id - 1
+			compCnt = append(compCnt, 0)
+		} else {
+			id = -s - 1
+		}
+		compCnt[id]++
+		compOf = append(compOf, id)
+	}
+	nw.compCnt, nw.compOf = compCnt, compOf
+	ncomp := len(compCnt)
+	if ncomp == 1 {
+		sh := &nw.shards[0]
+		sh.begin()
+		nw.advance(sh, active, start)
+		return nw.merge(nw.shards[:1], start)
+	}
+	// --- Counting sort: group packet indices by component, preserving
+	// priority order within each. compCnt becomes the fill cursors. ---
+	nw.compEnd = growSlice(nw.compEnd, ncomp)
+	off := int32(0)
+	for id, c := range compCnt {
+		off += c
+		nw.compEnd[id] = off
+		compCnt[id] = off - c
+	}
+	nw.compPkts = growSlice(nw.compPkts, len(active))
+	for j, pi := range active {
+		id := compOf[j]
+		nw.compPkts[compCnt[id]] = pi
+		compCnt[id]++
+	}
+	// --- Dispatch: caller is worker 0, background workers 1..par−1. Every
+	// shard is reset (tokens are anonymous, so ANY worker may win one and
+	// merge reads them all), but only enough workers for the component
+	// count are woken — a 2-component phase on an 8-way pool must not pay
+	// six no-op wakeups inside the phase barrier. ---
+	p := nw.ensurePool()
+	for i := 0; i < nw.par; i++ {
+		nw.shards[i].ensure(len(active))
+		nw.shards[i].begin()
+	}
+	p.nw, p.ncomp, p.base = nw, int32(ncomp), start
+	p.next.Store(0)
+	wake := nw.par - 1
+	if ncomp-1 < wake {
+		wake = ncomp - 1
+	}
+	p.wg.Add(wake)
+	for i := 0; i < wake; i++ {
+		p.start <- struct{}{}
+	}
+	p.runShard(0)
+	p.wg.Wait()
+	p.nw = nil
+	return nw.merge(nw.shards[:nw.par], start)
+}
+
+// ufFind returns the root of a union-find node, lazily (re)initializing
+// nodes on their first touch each phase via the phase stamp and halving
+// paths as it walks.
+func (nw *Network) ufFind(x int32) int32 {
+	if nw.ufStamp[x] != nw.phase {
+		nw.ufStamp[x] = nw.phase
+		nw.ufParent[x] = x
+		nw.ufSize[x] = 1
+		return x
+	}
+	for nw.ufParent[x] != x {
+		nw.ufParent[x] = nw.ufParent[nw.ufParent[x]]
+		x = nw.ufParent[x]
+	}
+	return x
+}
+
+// ufUnion links two roots by size and returns the surviving root.
+func (nw *Network) ufUnion(a, b int32) int32 {
+	if a == b {
+		return a
+	}
+	if nw.ufSize[a] < nw.ufSize[b] {
+		a, b = b, a
+	}
+	nw.ufParent[b] = a
+	nw.ufSize[a] += nw.ufSize[b]
+	return a
+}
+
+// growSlice resizes buf to n entries, reusing its backing array when able.
+func growSlice[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}

@@ -24,6 +24,26 @@
 // cycle walks a compacted active-packet list. testing.AllocsPerRun tests
 // lock the invariant; golden-trace tests pin grants, cycle counts and
 // Stats bit-for-bit to the pre-arena reference implementation.
+//
+// # Tree-partition invariant (multi-core routing)
+//
+// The 4a trees of the 2DMOT are edge-disjoint, and a packet interacts with
+// other packets through exactly two mechanisms: edge contention (possible
+// only between packets whose paths share a tree) and module service
+// capacity (possible only between packets addressing the same module
+// leaf). A request path traverses at most three trees — row tree of the
+// issuing processor, column tree of the bank, and (on the dual-rail row
+// rail) the row tree of the target row — all known at injection time.
+// Partitioning a phase's packets into connected components of the
+// "shares a tree or a module" relation therefore yields groups with
+// disjoint edge sets, disjoint module counters and disjoint result slots,
+// and the synchronous cycle loop factorizes exactly: advancing each
+// component independently and merging — counter sums, makespan max, and
+// per-cycle module backlogs summed by cycle offset (all components start
+// at the same global cycle) — reproduces the serial router bit for bit.
+// Config.Parallelism > 1 exploits this on a bounded worker pool (see
+// parallel.go); the differential tests, FuzzRoutePhase and the golden
+// traces under PRAMSIM_PARALLEL pin the equivalence.
 package mot
 
 import (

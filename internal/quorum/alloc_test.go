@@ -25,6 +25,9 @@ func allocSetup(n int) (*Engine, []Request, []Request) {
 // invariant: once the scratch arena has grown to the batch shape, neither
 // read nor write batches touch the heap.
 func TestExecuteBatchZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation invariants are measured without the race detector")
+	}
 	eng, reads, writes := allocSetup(256)
 	for i := 0; i < 3; i++ { // grow the arena
 		eng.ExecuteBatch(writes)
@@ -49,6 +52,9 @@ func TestExecuteBatchZeroAllocs(t *testing.T) {
 // TestExecuteBatchTwoStageZeroAllocs extends the invariant to the two-stage
 // schedule, which exercises the arena's secondary result buffers.
 func TestExecuteBatchTwoStageZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation invariants are measured without the race detector")
+	}
 	eng, reads, writes := allocSetup(256)
 	cfg := TwoStageConfig{}
 	for i := 0; i < 3; i++ {
@@ -68,6 +74,9 @@ func TestExecuteBatchTwoStageZeroAllocs(t *testing.T) {
 // check, sorted dedup, engine, interconnect, report — at zero steady-state
 // allocations under CRCW-Priority.
 func TestExecuteStepZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation invariants are measured without the race detector")
+	}
 	const n = 256
 	p := memmap.LemmaTwo(n, 2, 1)
 	st := NewStore(memmap.Generate(p, 11))

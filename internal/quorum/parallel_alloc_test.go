@@ -1,0 +1,97 @@
+// External-package allocation tests for the quorum backend over the REAL
+// interconnect: a 2DMOT packet network with multi-core routing. (External
+// so it can import repro/internal/mot, which itself imports quorum.) They
+// extend the steady-state zero-allocation invariant across the whole
+// pipeline — engine scratch arena, parallel router worker pool, step
+// dedup/report — and lock the serial/parallel determinism contract at the
+// batch level.
+package quorum_test
+
+import (
+	"testing"
+
+	"repro/internal/memmap"
+	"repro/internal/model"
+	"repro/internal/mot"
+	"repro/internal/quorum"
+)
+
+// motMachine builds a quorum machine over a 2DMOT network at Theorem 3
+// parameters with the given router worker count.
+func motMachine(n, workers int) (*quorum.Machine, *mot.Network) {
+	p, side := memmap.TheoremThree(n, 2, 2)
+	mp := memmap.Generate(p, 3)
+	nw := mot.NewNetwork(side, mot.ModulesAtLeaves, mot.Config{Parallelism: workers})
+	m := quorum.NewMachine("mot-alloc-test", n, model.CRCWPriority, quorum.NewStore(mp), nw)
+	return m, nw
+}
+
+// TestExecuteStepParallelRouterZeroAllocs locks the whole step pipeline —
+// conflict check, dedup, engine, PARALLEL packet routing, report — at zero
+// steady-state allocations, workers warm and arenas reused.
+func TestExecuteStepParallelRouterZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation invariants are measured without the race detector")
+	}
+	const n = 64
+	m, nw := motMachine(n, 4)
+	if nw.Parallelism() != 4 {
+		t.Fatalf("router resolved %d workers, want 4", nw.Parallelism())
+	}
+	batch := model.NewBatch(n)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			batch[i] = model.Request{Proc: i, Op: model.OpRead, Addr: (i * 7) % n}
+		} else {
+			batch[i] = model.Request{Proc: i, Op: model.OpWrite, Addr: (i * 3) % n, Value: model.Word(i)}
+		}
+	}
+	for i := 0; i < 5; i++ { // grow the arenas, warm the pool
+		if rep := m.ExecuteStep(batch); rep.Err != nil {
+			t.Fatal(rep.Err)
+		}
+	}
+	if avg := testing.AllocsPerRun(20, func() {
+		if rep := m.ExecuteStep(batch); rep.Err != nil {
+			t.Fatal(rep.Err)
+		}
+	}); avg != 0 {
+		t.Errorf("ExecuteStep over the parallel router allocates %.1f/op in steady state, want 0", avg)
+	}
+}
+
+// TestExecuteBatchSerialVsParallelRouter drives identical request batches
+// through two machines that differ only in router parallelism and demands
+// identical results: the engine's phase loop feeds each phase from the
+// previous phase's grants, so this exercises the retry feedback path the
+// RoutePhase-level differential tests cannot.
+func TestExecuteBatchSerialVsParallelRouter(t *testing.T) {
+	const n = 64
+	ms, _ := motMachine(n, 1)
+	mp, _ := motMachine(n, 4)
+	reqs := make([]quorum.Request, n)
+	for i := range reqs {
+		reqs[i] = quorum.Request{Proc: i, Var: (i * 13) % (n * 2), Write: i%3 == 0, Value: model.Word(i)}
+	}
+	for round := 0; round < 3; round++ {
+		rs := ms.Engine().ExecuteBatch(reqs)
+		rp := mp.Engine().ExecuteBatch(reqs)
+		if rs.Phases != rp.Phases || rs.Time != rp.Time ||
+			rs.CopyAccesses != rp.CopyAccesses || rs.MaxModuleLoad != rp.MaxModuleLoad ||
+			rs.Stalled != rp.Stalled {
+			t.Fatalf("round %d diverged:\n serial   %+v\n parallel %+v", round, rs, rp)
+		}
+		for i := range reqs {
+			if rs.Values[i] != rp.Values[i] || rs.Satisfied[i] != rp.Satisfied[i] {
+				t.Fatalf("round %d request %d: serial (v=%d s=%v) parallel (v=%d s=%v)",
+					round, i, rs.Values[i], rs.Satisfied[i], rp.Values[i], rp.Satisfied[i])
+			}
+		}
+		for i := range rs.LiveTrace {
+			if rs.LiveTrace[i] != rp.LiveTrace[i] {
+				t.Fatalf("round %d live trace diverged at phase %d: %d vs %d",
+					round, i, rs.LiveTrace[i], rp.LiveTrace[i])
+			}
+		}
+	}
+}

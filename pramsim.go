@@ -27,6 +27,12 @@
 //	    p.Write(p.ID()+64, v*2)
 //	})
 //	fmt.Println(rep.SimTime, "network cycles")
+//
+// The mesh-of-trees machines route packets on multiple OS cores when
+// MOTConfig.Parallelism > 1 (or PRAMSIM_PARALLEL is set): phases are
+// partitioned into tree-connectivity components and advanced on a worker
+// pool, bit-for-bit identical to the serial router — simulated time,
+// grants and statistics never depend on the setting.
 package pramsim
 
 import (
