@@ -6,7 +6,25 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
+
+// TestSnapshotDateUTC: snapshot lineage dates are rendered in UTC no
+// matter the host timezone — a CI runner (UTC) and a dev container at
+// UTC−5 snapshotting the same instant must produce the SAME date, or the
+// BENCH_<date>.json lineage interleaves out of order and -diff gates the
+// wrong pair.
+func TestSnapshotDateUTC(t *testing.T) {
+	// 23:30 on Jul 30 in UTC−5 is already Jul 31 in UTC.
+	west := time.FixedZone("UTC-5", -5*60*60)
+	at := time.Date(2026, 7, 30, 23, 30, 0, 0, west)
+	if got := snapshotDate(at); got != "2026-07-31" {
+		t.Errorf("snapshotDate = %q, want the UTC date 2026-07-31", got)
+	}
+	if got, want := snapshotDate(at), snapshotDate(at.UTC()); got != want {
+		t.Errorf("same instant, different dates: %q vs %q", got, want)
+	}
+}
 
 func TestCompareSnapshots(t *testing.T) {
 	old := Snapshot{Results: []Result{

@@ -79,6 +79,31 @@ func permBatch(n int, seed int64) model.Batch {
 	return batch
 }
 
+// poolBandBatches builds one permutation read step per engine, each inside
+// its own variable band — the band-local traffic of K independent programs,
+// which the banded map turns into K disjoint module components.
+func poolBandBatches(dp *core.DMMPCPool, seed int64) []model.Batch {
+	k, n, mem := dp.Engines(), dp.ShardProcs(), dp.Store().Map().Vars()
+	rng := rand.New(rand.NewSource(seed))
+	batches := make([]model.Batch, k)
+	for sh := range batches {
+		lo, _ := memmap.BandRange(sh, mem, k)
+		perm := rng.Perm(n)
+		b := model.NewBatch(n)
+		for i := 0; i < n; i++ {
+			b[i] = model.Request{Proc: i, Op: model.OpRead, Addr: lo + perm[i]}
+		}
+		batches[sh] = b
+	}
+	return batches
+}
+
+// snapshotDate renders a snapshot's lineage date in UTC: CI runners (UTC)
+// and dev containers in other timezones must agree on what "today" is, or
+// the BENCH_<date>.json lineage interleaves out of chronological order and
+// -diff gates the wrong pair.
+func snapshotDate(now time.Time) string { return now.UTC().Format("2006-01-02") }
+
 // benchRuns is how many times each benchmark is repeated; the snapshot
 // records the MINIMUM ns/op (and allocs) across repeats. On shared or
 // virtualized hosts the distribution of a deterministic benchmark is the
@@ -127,6 +152,30 @@ func measure(name string, back model.Backend, batch model.Batch) Result {
 	return res
 }
 
+// measurePool runs a multi-engine pool benchmark: one op is a full
+// ExecuteSteps — K concurrent shard steps plus the deterministic report
+// merge — with sim counters from the aggregate report.
+func measurePool(name string, dp *core.DMMPCPool, batches []model.Batch) Result {
+	agg, _ := dp.ExecuteSteps(batches) // warm the arenas; grab sim counters
+	if agg.Err != nil {
+		fmt.Fprintf(os.Stderr, "benchmark %s: %v\n", name, agg.Err)
+		os.Exit(1)
+	}
+	res := measureMin(name, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if agg, _ := dp.ExecuteSteps(batches); agg.Err != nil {
+				b.Fatal(agg.Err)
+			}
+		}
+	})
+	res.SimTime = agg.Time
+	res.SimPhases = agg.Phases
+	res.SimCycles = agg.NetworkCycles
+	res.SimCopyAccess = agg.CopyAccesses
+	return res
+}
+
 // measureMicro runs a plain function benchmark.
 func measureMicro(name string, fn func()) Result {
 	fn() // warm the arenas
@@ -159,7 +208,7 @@ func main() {
 	}
 
 	snap := Snapshot{
-		Date:      time.Now().Format("2006-01-02"),
+		Date:      snapshotDate(time.Now()),
 		GoVersion: runtime.Version(),
 		GOARCH:    runtime.GOARCH,
 		NumCPU:    runtime.NumCPU(),
@@ -205,6 +254,34 @@ func main() {
 		lu := core.NewLuccio(n, core.MOTConfig{})
 		snap.Results = append(snap.Results,
 			measure(fmt.Sprintf("E5LuccioStep/n=%d", n), lu, permBatch(n, 5)))
+	}
+	// Multi-engine pool throughput (E12): the SAME aggregate workload —
+	// 1024 simulated processors issuing one permutation read each over a
+	// Lemma 2 image for 1024 processors — served as K independent
+	// band-local programs of 1024/K processors by K concurrent engines.
+	// Execution is bit-for-bit identical at every K and worker count (pool
+	// differential tests), so the sweep isolates serving throughput. The
+	// K=4 Serial point re-measures the same pool with the executor forced
+	// onto the caller goroutine.
+	{
+		const nTotal = 1024
+		var speedup [2]float64
+		for _, K := range []int{1, 2, 4, 8} {
+			dp := core.NewDMMPCPool(nTotal/K, core.Config{Engines: K, Workers: *parallel})
+			batches := poolBandBatches(dp, 5)
+			res := measurePool(fmt.Sprintf("E12PoolStep/n=%d/K=%d", nTotal, K), dp, batches)
+			snap.Results = append(snap.Results, res)
+			if K == 1 {
+				speedup[0] = res.NsPerOp
+			}
+			if K == 4 {
+				speedup[1] = res.NsPerOp
+				dp.SetWorkers(1)
+				snap.Results = append(snap.Results,
+					measurePool(fmt.Sprintf("E12PoolStepSerial/n=%d/K=%d", nTotal, K), dp, batches))
+			}
+		}
+		fmt.Printf("E12 n=%d pool speedup K=4 vs K=1: %.2fx\n", nTotal, speedup[0]/speedup[1])
 	}
 
 	// Substrate micro-benchmarks: the two zero-alloc hot paths.

@@ -49,6 +49,17 @@ type Config struct {
 	// routes a phase in one pass and ignores the knob; it exists here so
 	// machine configs stay drop-in interchangeable with MOTConfig.
 	Parallelism int
+	// Engines is the workload-shard count K of the multi-engine
+	// deployments (NewDMMPCPool): 0 consults PRAMSIM_ENGINES (absent/off
+	// → 1), > 0 uses exactly that many, < 0 uses GOMAXPROCS. Single-
+	// machine constructors ignore it. Where Parallelism spreads one
+	// step's routing across cores, Engines runs K independent simulated
+	// programs' steps concurrently against one sharded memory image —
+	// bit-for-bit identical to serving them one after another.
+	Engines int
+	// Workers bounds the pool's executor goroutines (0 → min(Engines,
+	// GOMAXPROCS)); see quorum.PoolConfig.Workers.
+	Workers int
 }
 
 func (c *Config) fill() {
@@ -89,4 +100,39 @@ func NewDMMPC(n int, cfg Config) *DMMPC {
 		m.SetParallelism(cfg.Parallelism)
 	}
 	return m
+}
+
+// DMMPCPool is the multi-program deployment of the Theorem 2 machine: K
+// independent engines, each simulating its own n-processor P-RAM program,
+// execute concurrently against ONE sharded memory image. The memory map is
+// banded K ways (memmap.GenerateBanded) so that band-local programs touch
+// disjoint module sets by construction and every step runs at full
+// parallelism; cross-band traffic stays correct and is serialized per
+// module-connectivity component by the pool's deterministic merge.
+type DMMPCPool struct {
+	*quorum.Pool
+	P memmap.Params
+}
+
+// NewDMMPCPool builds the K-engine DMMPC deployment: Lemma 2 parameters at
+// the TOTAL processor count K·n (so the per-band point is Lemma 2 at n
+// processors, m/K variables and M/K modules), a banded seeded map, one
+// complete-bipartite interconnect per engine. Program k should address the
+// variable band [k·m/K, (k+1)·m/K) for full parallelism.
+func NewDMMPCPool(n int, cfg Config) *DMMPCPool {
+	cfg.fill()
+	k := quorum.ResolveEngines(cfg.Engines)
+	p := memmap.LemmaTwo(n*k, cfg.K, cfg.Eps)
+	mp := memmap.GenerateBanded(p, cfg.Seed, k)
+	name := fmt.Sprintf("DMMPCPool(K=%d, n=%d, M=%d, r=%d)", k, n, p.M, p.R())
+	var ts *quorum.TwoStageConfig
+	if cfg.TwoStage {
+		ts = &quorum.TwoStageConfig{}
+	}
+	return &DMMPCPool{
+		Pool: quorum.NewPool(name, quorum.NewStore(mp),
+			func(int) quorum.Interconnect { return quorum.NewCompleteBipartite() },
+			quorum.PoolConfig{Engines: k, Procs: n, Mode: cfg.Mode, Workers: cfg.Workers, TwoStage: ts}),
+		P: p,
+	}
 }

@@ -1,0 +1,98 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/memmap"
+	"repro/internal/model"
+)
+
+// bandStep builds one step per shard: every processor of shard k writes or
+// reads inside shard k's own variable band.
+func poolBandSteps(dp *core.DMMPCPool, round int) []model.Batch {
+	k := dp.Engines()
+	n := dp.ShardProcs()
+	mem := dp.Store().Map().Vars()
+	batches := make([]model.Batch, k)
+	for sh := 0; sh < k; sh++ {
+		lo, hi := memmap.BandRange(sh, mem, k)
+		b := model.NewBatch(n)
+		for i := 0; i < n; i++ {
+			addr := lo + (i*11+round)%(hi-lo)
+			if (i+round)%3 == 0 {
+				b[i] = model.Request{Proc: i, Op: model.OpRead, Addr: addr}
+			} else {
+				b[i] = model.Request{Proc: i, Op: model.OpWrite, Addr: addr, Value: model.Word(1000*sh + 10*i + round)}
+			}
+		}
+		batches[sh] = b
+	}
+	return batches
+}
+
+// TestDMMPCPoolServesDisjointPrograms: the banded deployment runs K
+// band-local programs at full parallelism (K components every step) and
+// commits their writes.
+func TestDMMPCPoolServesDisjointPrograms(t *testing.T) {
+	const n = 32
+	dp := core.NewDMMPCPool(n, core.Config{Engines: 4})
+	if dp.Engines() != 4 {
+		t.Fatalf("pool has %d engines, want 4", dp.Engines())
+	}
+	for round := 0; round < 3; round++ {
+		batches := poolBandSteps(dp, round)
+		agg, shards := dp.ExecuteSteps(batches)
+		if agg.Err != nil {
+			t.Fatalf("round %d: %v", round, agg.Err)
+		}
+		if dp.LastComponents() != dp.Engines() {
+			t.Fatalf("round %d: %d components, want %d (banded map, band-local programs)",
+				round, dp.LastComponents(), dp.Engines())
+		}
+		for sh := range shards {
+			if shards[sh].Phases == 0 {
+				t.Errorf("round %d shard %d: no phases recorded", round, sh)
+			}
+		}
+		for sh, b := range batches {
+			for _, rq := range b {
+				if rq.Op == model.OpWrite {
+					if got := dp.Store().CommittedValue(rq.Addr); got != rq.Value {
+						t.Fatalf("round %d shard %d: committed[%d] = %d, want %d",
+							round, sh, rq.Addr, got, rq.Value)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDMMPCPoolTwoStage: the two-stage schedule flows through to every
+// shard machine.
+func TestDMMPCPoolTwoStage(t *testing.T) {
+	const n = 32
+	dp := core.NewDMMPCPool(n, core.Config{Engines: 2, TwoStage: true})
+	batches := poolBandSteps(dp, 0)
+	agg, _ := dp.ExecuteSteps(batches)
+	if agg.Err != nil {
+		t.Fatal(agg.Err)
+	}
+	if agg.Phases == 0 {
+		t.Error("two-stage pool step recorded no phases")
+	}
+}
+
+// TestDMMPCPoolEnvDefault: Engines: 0 resolves from the environment, so
+// the CI race job's PRAMSIM_ENGINES=4 exercises a real multi-engine pool
+// here without the test hard-coding a count.
+func TestDMMPCPoolEnvDefault(t *testing.T) {
+	dp := core.NewDMMPCPool(16, core.Config{})
+	if dp.Engines() < 1 {
+		t.Fatalf("resolved %d engines", dp.Engines())
+	}
+	batches := poolBandSteps(dp, 1)
+	if agg, _ := dp.ExecuteSteps(batches); agg.Err != nil {
+		t.Fatal(agg.Err)
+	}
+}

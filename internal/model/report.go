@@ -1,0 +1,58 @@
+package model
+
+// MergeStepReports combines the per-shard reports of K P-RAM steps that
+// executed side by side — one independent simulated program per shard —
+// into one aggregate report, deterministically and without allocating in
+// steady state (the dst buffers are reused).
+//
+// Aggregation semantics model K machines running concurrently in simulated
+// time: makespans (Time, Phases, NetworkCycles) and peaks
+// (ModuleContention) take the maximum over shards, work counters
+// (CopyAccesses) sum, and Err keeps the first non-nil error in shard
+// order. Values are laid out densely by GLOBAL processor id: shard k's
+// processor p lands at k*procsPerShard + p. Every rule is a fold over
+// shards in index order, so the merge is independent of the order the
+// shards actually executed in — the property the pool's differential tests
+// rely on.
+//
+// The merged report's Values slice aliases dst's buffer and is valid until
+// the next merge into the same dst; the parts' Values are only read.
+func MergeStepReports(dst *StepReport, parts []StepReport, procsPerShard int) {
+	need := len(parts) * procsPerShard
+	if cap(dst.Values) < need {
+		dst.Values = make([]Word, need)
+	}
+	dst.Values = dst.Values[:need]
+	clear(dst.Values)
+	dst.Time = 0
+	dst.Phases = 0
+	dst.CopyAccesses = 0
+	dst.ModuleContention = 0
+	dst.NetworkCycles = 0
+	dst.Err = nil
+	for k := range parts {
+		p := &parts[k]
+		if p.Time > dst.Time {
+			dst.Time = p.Time
+		}
+		if p.Phases > dst.Phases {
+			dst.Phases = p.Phases
+		}
+		dst.CopyAccesses += p.CopyAccesses
+		if p.ModuleContention > dst.ModuleContention {
+			dst.ModuleContention = p.ModuleContention
+		}
+		if p.NetworkCycles > dst.NetworkCycles {
+			dst.NetworkCycles = p.NetworkCycles
+		}
+		if dst.Err == nil && p.Err != nil {
+			dst.Err = p.Err
+		}
+		base := k * procsPerShard
+		n := len(p.Values)
+		if n > procsPerShard {
+			n = procsPerShard
+		}
+		copy(dst.Values[base:base+n], p.Values[:n])
+	}
+}

@@ -1,0 +1,58 @@
+package model
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestMergeStepReports(t *testing.T) {
+	errB := errors.New("shard b failed")
+	parts := []StepReport{
+		{Values: []Word{1, 2}, Time: 10, Phases: 3, CopyAccesses: 100, ModuleContention: 2, NetworkCycles: 50},
+		{Values: []Word{3, 4}, Time: 7, Phases: 5, CopyAccesses: 30, ModuleContention: 4, NetworkCycles: 80, Err: errB},
+		{Values: []Word{5}, Time: 12, Phases: 1, CopyAccesses: 1, ModuleContention: 1, NetworkCycles: 0},
+	}
+	var agg StepReport
+	MergeStepReports(&agg, parts, 2)
+
+	if agg.Time != 12 || agg.Phases != 5 || agg.NetworkCycles != 80 || agg.ModuleContention != 4 {
+		t.Errorf("makespan/peak fields wrong: %+v", agg)
+	}
+	if agg.CopyAccesses != 131 {
+		t.Errorf("CopyAccesses = %d, want summed 131", agg.CopyAccesses)
+	}
+	if agg.Err != errB {
+		t.Errorf("Err = %v, want first non-nil in shard order", agg.Err)
+	}
+	want := []Word{1, 2, 3, 4, 5, 0} // shard k at offset 2k; short shard zero-padded
+	if len(agg.Values) != len(want) {
+		t.Fatalf("Values len = %d, want %d", len(agg.Values), len(want))
+	}
+	for i, w := range want {
+		if agg.Values[i] != w {
+			t.Errorf("Values[%d] = %d, want %d", i, agg.Values[i], w)
+		}
+	}
+}
+
+// TestMergeStepReportsReuse: merging into the same dst reuses the Values
+// buffer (no allocation in steady state) and fully overwrites stale state.
+func TestMergeStepReportsReuse(t *testing.T) {
+	parts := []StepReport{{Values: []Word{9}, Time: 1, Err: errors.New("old")}}
+	var agg StepReport
+	MergeStepReports(&agg, parts, 1)
+	buf := &agg.Values[0]
+
+	parts2 := []StepReport{{Values: []Word{4}, Time: 2}}
+	if avg := testing.AllocsPerRun(10, func() {
+		MergeStepReports(&agg, parts2, 1)
+	}); avg != 0 {
+		t.Errorf("steady-state merge allocates %.1f/op, want 0", avg)
+	}
+	if &agg.Values[0] != buf {
+		t.Error("merge did not reuse the dst Values buffer")
+	}
+	if agg.Err != nil || agg.Values[0] != 4 || agg.Time != 2 {
+		t.Errorf("stale state survived the merge: %+v", agg)
+	}
+}

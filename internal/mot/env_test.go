@@ -1,0 +1,42 @@
+package mot
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestEnvParallelism pins the PRAMSIM_PARALLEL encoding, including the
+// loud failure on malformed values: a typo'd knob silently selecting the
+// serial router would let CI's parallel-equivalence jobs test nothing.
+func TestEnvParallelism(t *testing.T) {
+	set := func(v string) { t.Setenv("PRAMSIM_PARALLEL", v) }
+	for _, c := range []struct {
+		v    string
+		want int
+	}{
+		{"", 1}, {"off", 1}, {"false", 1}, {"0", 1},
+		{"3", 3},
+		{"on", runtime.GOMAXPROCS(0)}, {"max", runtime.GOMAXPROCS(0)},
+	} {
+		set(c.v)
+		if got := envParallelism(); got != c.want {
+			t.Errorf("PRAMSIM_PARALLEL=%q: workers = %d, want %d", c.v, got, c.want)
+		}
+	}
+	for _, bad := range []string{"four", "-2", "1.5", "2x"} {
+		set(bad)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PRAMSIM_PARALLEL=%q did not fail loudly", bad)
+				}
+			}()
+			envParallelism()
+		}()
+	}
+	// Explicit SetParallelism arguments never consult the env.
+	set("garbage")
+	if got := resolveParallelism(2); got != 2 {
+		t.Errorf("resolveParallelism(2) = %d with garbage env, want 2", got)
+	}
+}

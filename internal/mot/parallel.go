@@ -35,6 +35,7 @@
 package mot
 
 import (
+	"fmt"
 	"os"
 	"runtime"
 	"strconv"
@@ -198,8 +199,11 @@ func resolveParallelism(p int) int {
 }
 
 // envParallelism reads the PRAMSIM_PARALLEL environment variable: an
-// integer worker count, or "on"/"true"/"max" for GOMAXPROCS. Unset, empty,
-// unparsable or "off"/"false" select the serial router.
+// integer worker count, or "on"/"true"/"max" for GOMAXPROCS; unset, empty,
+// "off", "false" or "0" select the serial router. Any other value panics:
+// the old silent fall-back to serial meant a typo'd knob (e.g. "four",
+// "-2") made CI's parallel-equivalence runs test nothing while reporting
+// green (quorum's PRAMSIM_ENGINES follows the same contract).
 func envParallelism() int {
 	switch v := os.Getenv("PRAMSIM_PARALLEL"); v {
 	case "", "off", "false", "0":
@@ -209,7 +213,8 @@ func envParallelism() int {
 	default:
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 {
-			return 1
+			panic(fmt.Sprintf(
+				"mot: PRAMSIM_PARALLEL=%q is not a valid worker count (want an integer >= 1, on/true/max, or off/false/0); refusing to fall back to serial routing silently", v))
 		}
 		return n
 	}

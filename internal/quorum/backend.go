@@ -36,6 +36,11 @@ func (e *StallError) Error() string {
 // deduplicated by sorting a reusable record slice (grouped by address)
 // instead of building per-step maps, and the StepReport's Values slice is a
 // dense per-processor buffer reused across steps.
+//
+// A Machine is single-threaded, but several Machines may share one Store:
+// the Pool runs one Machine per workload shard concurrently under the
+// store's shard-ownership invariant (see the package doc), scheduling
+// machines whose steps touch overlapping module sets onto one goroutine.
 type Machine struct {
 	name  string
 	n     int
@@ -53,6 +58,7 @@ type Machine struct {
 // stepScratch holds the Machine's reusable per-step buffers.
 type stepScratch struct {
 	recs      []model.ConflictRec
+	recsTmp   []model.ConflictRec // radix sort ping-pong buffer
 	readReqs  []Request
 	readStart []int32 // per read request: start of its reader run in recs
 	readEnd   []int32 // per read request: end of its reader run in recs
@@ -141,6 +147,9 @@ func (m *Machine) ExecuteStep(batch model.Batch) model.StepReport {
 	// the conflict check (which only needs address grouping).
 	recs := sc.recs[:0]
 	maxProc := m.n - 1
+	maxAddr := model.Addr(0)
+	radixable := true // ascending procs, non-negative addresses
+	prevProc := -1
 	for _, r := range batch {
 		if r.Op == model.OpNone {
 			continue
@@ -149,20 +158,38 @@ func (m *Machine) ExecuteStep(batch model.Batch) model.StepReport {
 		if r.Proc > maxProc {
 			maxProc = r.Proc
 		}
+		if r.Proc <= prevProc || r.Addr < 0 {
+			radixable = false
+		}
+		prevProc = r.Proc
+		if r.Addr > maxAddr {
+			maxAddr = r.Addr
+		}
+	}
+	if radixable {
+		// Batches list requests in ascending processor order (Batch is
+		// indexed by processor), so a stable radix pass on (Addr, Write)
+		// produces the full (Addr, Write, Proc) order ~4x cheaper than the
+		// comparison sort — the dedup pass was the largest remaining step
+		// cost at n ≥ 1024.
+		sc.recsTmp = grow(sc.recsTmp, len(recs))
+		recs, sc.recsTmp = model.RadixSortConflictRecs(recs, sc.recsTmp[:len(recs)], maxAddr)
+	} else {
+		// Rare path: direct callers with out-of-order processors.
+		slices.SortFunc(recs, func(a, b model.ConflictRec) int {
+			if a.Addr != b.Addr {
+				return cmp.Compare(a.Addr, b.Addr)
+			}
+			if a.Write != b.Write {
+				if a.Write {
+					return 1
+				}
+				return -1
+			}
+			return cmp.Compare(a.Proc, b.Proc)
+		})
 	}
 	sc.recs = recs
-	slices.SortFunc(recs, func(a, b model.ConflictRec) int {
-		if a.Addr != b.Addr {
-			return cmp.Compare(a.Addr, b.Addr)
-		}
-		if a.Write != b.Write {
-			if a.Write {
-				return 1
-			}
-			return -1
-		}
-		return cmp.Compare(a.Proc, b.Proc)
-	})
 
 	var rep model.StepReport
 	rep.Err = model.CheckSortedRecords(recs, m.mode)

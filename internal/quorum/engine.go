@@ -9,12 +9,16 @@ import (
 // Attempt is one copy access scheduled in a phase: the processor proc tries
 // to touch copy `Copy` of variable `Var`, which lives in memory module
 // `Module` (for the 2DMOT this is a bank/column id). Write distinguishes
-// update accesses from retrieval accesses.
+// update accesses from retrieval accesses. Slot carries the copy's dense
+// cell index (v·r + Copy in the store's row-major cell array), resolved
+// once at schedule time (interconnects ignore it; the engine's grant loop
+// uses it to touch the granted cell without re-deriving the index).
 type Attempt struct {
 	Proc   int
 	Module int
 	Var    int
 	Copy   int
+	Slot   int32
 	Write  bool
 }
 
@@ -142,7 +146,7 @@ type reqState struct {
 	accessed  uint64 // bitmask of copies touched (r ≤ 64 always holds here)
 	count     int
 	done      bool
-	bestTS    uint32
+	bestTS    uint64
 	bestVal   model.Word
 	anyAccess bool
 }
@@ -200,7 +204,7 @@ func (e *Engine) run(reqs []Request, values []model.Word, satisfied []bool) Resu
 	if e.r > 64 {
 		panic(fmt.Sprintf("quorum.Engine: redundancy %d exceeds bitmask width", e.r))
 	}
-	now := e.store.Tick()
+	now := e.store.StampBatch(reqs)
 	sc := &e.sc
 	sc.states = grow(sc.states, len(reqs))
 	states := sc.states
@@ -271,9 +275,9 @@ func (e *Engine) run(reqs []Request, values []model.Word, satisfied []bool) Resu
 			st.count++
 			res.CopyAccesses++
 			if a.Write {
-				e.store.WriteCopy(a.Var, a.Copy, reqs[owners[ai]].Value, now)
+				e.store.WriteSlot(a.Slot, reqs[owners[ai]].Value, now)
 			} else {
-				v, ts := e.store.ReadCopy(a.Var, a.Copy)
+				v, ts := e.store.ReadSlot(a.Slot)
 				if !st.anyAccess || ts > st.bestTS {
 					st.bestTS, st.bestVal = ts, v
 				}
@@ -331,22 +335,23 @@ func (e *Engine) scheduleRequest(k, idx int, rq Request, st *reqState, attempts 
 		end = e.n
 	}
 	members := end - base
-	mp := e.store.Map()
-	copies := mp.Copies(rq.Var)
-	slot := 0
-	for j := 0; j < e.r && slot < members; j++ {
+	copies := e.store.Map().Copies(rq.Var)
+	rowBase := int32(rq.Var * e.r)
+	member := 0
+	for j := 0; j < e.r && member < members; j++ {
 		if st.accessed&(1<<uint(j)) != 0 {
 			continue
 		}
 		attempts = append(attempts, Attempt{
-			Proc:   base + slot,
+			Proc:   base + member,
 			Module: int(copies[j]),
 			Var:    rq.Var,
 			Copy:   j,
+			Slot:   rowBase + int32(j),
 			Write:  rq.Write,
 		})
 		owners = append(owners, idx)
-		slot++
+		member++
 	}
 	return attempts, owners
 }

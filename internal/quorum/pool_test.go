@@ -1,0 +1,203 @@
+package quorum
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/memmap"
+	"repro/internal/model"
+)
+
+// bandedPoolSetup builds a K-engine pool over a banded map: shard k's
+// variable band maps only into shard k's module band, so shards touching
+// their own bands form K disjoint components by construction.
+func bandedPoolSetup(t testing.TB, nPerShard, k int, workers int) *Pool {
+	t.Helper()
+	p := memmap.LemmaTwo(nPerShard*k, 2, 1)
+	mp := memmap.GenerateBanded(p, 11, k)
+	return NewPool("pool-test", NewStore(mp),
+		func(int) Interconnect { return NewCompleteBipartite() },
+		PoolConfig{Engines: k, Procs: nPerShard, Mode: model.CRCWPriority, Workers: workers})
+}
+
+// bandBatch builds a step in which every processor of shard k reads or
+// writes inside shard k's own variable band.
+func bandBatch(pl *Pool, shard, round int) model.Batch {
+	mem := pl.Store().Map().Vars()
+	lo, hi := memmap.BandRange(shard, mem, pl.Engines())
+	n := pl.ShardProcs()
+	b := model.NewBatch(n)
+	for i := 0; i < n; i++ {
+		addr := lo + (i*7+round)%(hi-lo)
+		if (i+round)%2 == 0 {
+			b[i] = model.Request{Proc: i, Op: model.OpWrite, Addr: addr, Value: model.Word(100*shard + i + round)}
+		} else {
+			b[i] = model.Request{Proc: i, Op: model.OpRead, Addr: addr}
+		}
+	}
+	return b
+}
+
+// TestPoolDisjointBandsFullParallelism: band-local traffic on a banded map
+// partitions into exactly K components, and committed memory matches the
+// per-shard writes.
+func TestPoolDisjointBandsFullParallelism(t *testing.T) {
+	const nPer, K = 32, 4
+	pl := bandedPoolSetup(t, nPer, K, -1)
+	batches := make([]model.Batch, K)
+	for round := 0; round < 3; round++ {
+		for k := range batches {
+			batches[k] = bandBatch(pl, k, round)
+		}
+		agg, shards := pl.ExecuteSteps(batches)
+		if pl.LastComponents() != K {
+			t.Fatalf("round %d: %d components, want %d (disjoint bands)", round, pl.LastComponents(), K)
+		}
+		if agg.Err != nil {
+			t.Fatalf("round %d: aggregate error %v", round, agg.Err)
+		}
+		if len(shards) != K {
+			t.Fatalf("got %d shard reports, want %d", len(shards), K)
+		}
+		// Writes of this round are visible in committed memory.
+		for k := range batches {
+			for _, rq := range batches[k] {
+				if rq.Op == model.OpWrite {
+					if got := pl.Store().CommittedValue(rq.Addr); got != rq.Value {
+						t.Fatalf("round %d shard %d: committed[%d] = %d, want %d",
+							round, k, rq.Addr, got, rq.Value)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPoolContentionMergesComponents: shards that touch a common variable
+// share that variable's modules and must be merged into one component.
+func TestPoolContentionMergesComponents(t *testing.T) {
+	const nPer, K = 8, 4
+	pl := bandedPoolSetup(t, nPer, K, -1)
+	batches := make([]model.Batch, K)
+	for k := range batches {
+		b := model.NewBatch(nPer)
+		b[0] = model.Request{Proc: 0, Op: model.OpRead, Addr: 0} // same var everywhere
+		batches[k] = b
+	}
+	pl.ExecuteSteps(batches)
+	if pl.LastComponents() != 1 {
+		t.Fatalf("%d components, want 1 (all shards share variable 0)", pl.LastComponents())
+	}
+}
+
+// TestPoolAggregateReport: aggregate semantics over shards — makespan
+// fields take maxima, work sums, Values land at shard offsets.
+func TestPoolAggregateReport(t *testing.T) {
+	const nPer, K = 16, 2
+	pl := bandedPoolSetup(t, nPer, K, 1)
+	// Shard writes, then shard reads; check values at global offsets.
+	writes := make([]model.Batch, K)
+	for k := range writes {
+		writes[k] = bandBatch(pl, k, 0)
+	}
+	_, shardReps := pl.ExecuteSteps(writes)
+	reads := make([]model.Batch, K)
+	for k := range reads {
+		b := model.NewBatch(nPer)
+		for i := 0; i < nPer; i++ {
+			b[i] = model.Request{Proc: i, Op: model.OpRead, Addr: writes[k][0].Addr}
+		}
+		reads[k] = b
+	}
+	agg, shardReps2 := pl.ExecuteSteps(reads)
+	shardReps = shardReps2
+	if len(agg.Values) != K*nPer {
+		t.Fatalf("aggregate Values len %d, want %d", len(agg.Values), K*nPer)
+	}
+	var wantCopies int64
+	for k := 0; k < K; k++ {
+		if shardReps[k].Phases > agg.Phases || shardReps[k].Time > agg.Time {
+			t.Errorf("aggregate makespan below shard %d: agg %+v shard %+v", k, agg, shardReps[k])
+		}
+		wantCopies += shardReps[k].CopyAccesses
+		want := writes[k][0].Value
+		for i := 0; i < nPer; i++ {
+			if agg.Values[k*nPer+i] != want {
+				t.Fatalf("agg.Values[%d] = %d, want %d", k*nPer+i, agg.Values[k*nPer+i], want)
+			}
+		}
+	}
+	if agg.CopyAccesses != wantCopies {
+		t.Errorf("aggregate CopyAccesses = %d, want summed %d", agg.CopyAccesses, wantCopies)
+	}
+}
+
+// TestPoolWorkersResolution pins the Workers encoding.
+func TestPoolWorkersResolution(t *testing.T) {
+	maxp := runtime.GOMAXPROCS(0)
+	cases := []struct{ w, k, want int }{
+		{1, 8, 1},
+		{3, 8, 3},
+		{100, 8, 8}, // clamped to K
+		{0, 2, min(2, maxp)},
+		{-1, 64, min(64, maxp)},
+	}
+	for _, c := range cases {
+		if got := resolveWorkers(c.w, c.k); got != c.want {
+			t.Errorf("resolveWorkers(%d, %d) = %d, want %d", c.w, c.k, got, c.want)
+		}
+	}
+}
+
+// TestResolveEnginesEnv pins the PRAMSIM_ENGINES encoding, including the
+// loud failure on malformed values — a typo'd knob must never silently
+// collapse a CI equivalence run to one engine.
+func TestResolveEnginesEnv(t *testing.T) {
+	set := func(v string) {
+		t.Setenv("PRAMSIM_ENGINES", v)
+	}
+	set("")
+	if got := ResolveEngines(0); got != 1 {
+		t.Errorf("empty env: engines = %d, want 1", got)
+	}
+	set("off")
+	if got := ResolveEngines(0); got != 1 {
+		t.Errorf("off: engines = %d, want 1", got)
+	}
+	set("6")
+	if got := ResolveEngines(0); got != 6 {
+		t.Errorf("6: engines = %d, want 6", got)
+	}
+	set("max")
+	if got := ResolveEngines(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("max: engines = %d, want GOMAXPROCS", got)
+	}
+	// Explicit counts bypass the env entirely.
+	set("banana")
+	if got := ResolveEngines(3); got != 3 {
+		t.Errorf("explicit 3: engines = %d, want 3", got)
+	}
+	for _, bad := range []string{"four", "-2", "1.5", "2x"} {
+		set(bad)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PRAMSIM_ENGINES=%q did not fail loudly", bad)
+				}
+			}()
+			ResolveEngines(0)
+		}()
+	}
+}
+
+// TestPoolBatchCountMismatch: feeding the wrong number of shard batches is
+// a programming error and must not be silently truncated.
+func TestPoolBatchCountMismatch(t *testing.T) {
+	pl := bandedPoolSetup(t, 8, 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("ExecuteSteps accepted a mismatched batch count")
+		}
+	}()
+	pl.ExecuteSteps(make([]model.Batch, 3))
+}

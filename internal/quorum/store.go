@@ -23,76 +23,245 @@
 // and the dense per-processor values buffer; the bipartite interconnect
 // keeps a phase-stamped per-module load table. The price is aliasing —
 // Result and StepReport slices are valid only until the next call on the
-// same component — and single-threadedness per machine instance.
+// same component — and single-threadedness per machine instance. The Pool
+// extends the invariant across engines: its union-find arrays, component
+// buffers, worker pool and merged-report buffers are all reused, so a
+// steady-state ExecuteSteps is allocation-free too (pool tests lock it).
 // testing.AllocsPerRun tests (alloc_test.go) lock the invariant; golden
 // trace tests (golden_test.go, testdata/) pin the behavior bit-for-bit to
 // the pre-arena reference implementation.
+//
+// # Shard-ownership invariant
+//
+// The Store is sharded BY MEMORY MODULE: every cell (one replicated copy)
+// and every row stamp belongs to exactly one module shard — a cell to the
+// module the memmap places it in (ModuleSegment/ModuleCells materialize
+// each shard's cell set, what a distributed deployment would put on that
+// module's node), a row stamp to the row's 2c−1-module set. All state a
+// batch mutates is therefore owned by the modules the batch touches: the
+// union of memmap rows of its variables, ALL 2c−1 modules per variable,
+// not only the quorum that ends up granted. That makes module sets the
+// unit of concurrency: engines whose batches touch disjoint module sets
+// share NO mutable store state and may execute fully in parallel with
+// zero locking. (Module-level grouping is deliberately conservative —
+// distinct variables never share cells even inside one module — but the
+// module is the machine's physical resource and the granularity every
+// deployment story shards by. The cell ARRAY stays row-major because the
+// protocol touches copies row-wise; ownership, not byte adjacency, is
+// what the concurrency contract needs, and the modules a row spans are
+// disjoint between components either way.)
+//
+// The Pool enforces the ownership rule: each step it partitions the shard
+// batches into module-connectivity components (union-find over touched
+// modules, mirroring the 2DMOT router's tree-connectivity components) and
+// hands each component to exactly one worker goroutine, which executes the
+// component's batches serially in ascending shard order. A goroutine may
+// touch a module's segment and clock only while executing the component
+// that owns that module this step; between steps the pool's barrier
+// publishes every write. Batches that contend on a module are thereby
+// MERGED into one serial component — that deterministic merge, not a lock,
+// is how contention is resolved, so the result is bit-for-bit identical to
+// running every shard serially in index order (pool differential tests).
+//
+// Timestamps come from per-row logical clocks, not one global counter:
+// copy timestamps are only ever COMPARED within one variable's row (a
+// majority read picks the freshest of that variable's copies), so the
+// clock can shard all the way down to the row — rowStamp[v] holds the
+// stamp of v's latest write batch. A batch's stamp is 1 + the maximum
+// row stamp over the variables it writes, written back to those rows'
+// stamps; read-only batches stamp nothing. Stamps along each variable's
+// write chain strictly increase — exactly the ordering majority reads
+// need — and a row's stamp is owned by the same module set as its copies,
+// so disjoint components never observe each other's clocks (this is the
+// per-module clock of the sharding design taken to its finest grain: a
+// module's clock, were it materialized, would be the max over the rows in
+// its segment). Clocks and stamps are uint64: at one tick per batch per
+// row, overflow is unreachable (the old uint32 clock panicked after 2^32
+// batches — a real limit for a long-running multi-engine server; see
+// TestClockCrossesUint32Boundary).
+//
+// Merged StepReports follow the same aliasing rule as everything else in
+// the arena design: the per-shard reports returned by Pool.ExecuteSteps
+// alias each shard Machine's scratch (valid until that shard's next step),
+// and the aggregate report's Values slice aliases a pool-owned buffer
+// (valid until the pool's next ExecuteSteps).
 package quorum
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/memmap"
 	"repro/internal/model"
 )
 
-// Store holds the 2c−1 time-stamped copies of every variable.
+// Store holds the 2c−1 time-stamped copies of every variable, sharded by
+// memory module in OWNERSHIP and indexed by variable row in LAYOUT: the
+// cells of a row are contiguous (the protocol always touches copies
+// row-wise, so this is the cache-friendly direction — a module-major cell
+// layout was measured 40%+ slower at m = 2^20 because every quorum access
+// scattered across 2c−1 segments), while the per-module segment index
+// (ModuleSegment/ModuleCells, built lazily) materializes exactly which
+// cells each module's shard owns — what a distributed deployment would
+// place on module m's node, and the partition the Pool's component
+// scheduler enforces. The logical clock shards the same way (one stamp
+// per variable row, owned by the row's module set). See the package doc's
+// "Shard-ownership invariant" section for the concurrency rules.
 type Store struct {
-	mp    *memmap.Map
-	r     int
-	ts    []uint32     // m × r timestamps
-	val   []model.Word // m × r values
-	clock uint32       // advances once per access batch
+	mp       *memmap.Map
+	r        int
+	cells    []cell   // m × r (value, timestamp) pairs, row-major
+	rowStamp []uint64 // per variable: stamp of its latest write batch
+
+	// Module shard index, built lazily by shardIndex: seg[mod] ..
+	// seg[mod+1] delimit module mod's cell indices in modIdx. Diagnostics
+	// and deployment export only — not safe concurrently with execution.
+	seg    []int32
+	modIdx []int32
+}
+
+// cell is one replicated copy: value and write timestamp together, so a
+// granted copy access costs one cache line instead of two (separate value
+// and timestamp arrays halve on every miss).
+type cell struct {
+	val model.Word
+	ts  uint64
 }
 
 // NewStore allocates copy storage for the variables covered by mp.
 func NewStore(mp *memmap.Map) *Store {
 	r := mp.R()
 	m := mp.Vars()
-	return &Store{
-		mp:  mp,
-		r:   r,
-		ts:  make([]uint32, m*r),
-		val: make([]model.Word, m*r),
+	cells := m * r
+	if cells > math.MaxInt32 {
+		panic(fmt.Sprintf("quorum.NewStore: %d copies exceed the 32-bit slot index range", cells))
 	}
+	return &Store{
+		mp:       mp,
+		r:        r,
+		cells:    make([]cell, cells),
+		rowStamp: make([]uint64, m),
+	}
+}
+
+// shardIndex lazily builds the module shard index: a counting sort of the
+// m·r cell indices by owning module.
+func (s *Store) shardIndex() {
+	if s.modIdx != nil {
+		return
+	}
+	m := s.mp.Vars()
+	mods := s.mp.Modules()
+	s.seg = make([]int32, mods+1)
+	s.modIdx = make([]int32, m*s.r)
+	for v := 0; v < m; v++ {
+		for _, mod := range s.mp.Copies(v) {
+			s.seg[mod+1]++
+		}
+	}
+	for mod := 0; mod < mods; mod++ {
+		s.seg[mod+1] += s.seg[mod]
+	}
+	fill := make([]int32, mods)
+	for v := 0; v < m; v++ {
+		for j, mod := range s.mp.Copies(v) {
+			s.modIdx[s.seg[mod]+fill[mod]] = int32(v*s.r + j)
+			fill[mod]++
+		}
+	}
+}
+
+// ReadSlot returns the cell at a dense index v·r+j (from Attempt.Slot).
+func (s *Store) ReadSlot(slot int32) (model.Word, uint64) {
+	c := s.cells[slot]
+	return c.val, c.ts
+}
+
+// WriteSlot stamps the cell at a dense index v·r+j with (value, now).
+func (s *Store) WriteSlot(slot int32, value model.Word, now uint64) {
+	s.cells[slot] = cell{val: value, ts: now}
 }
 
 // Map returns the memory map the store distributes copies with.
 func (s *Store) Map() *memmap.Map { return s.mp }
 
-// Tick advances the logical clock that stamps the writes of the next access
-// batch. The Engine calls it once per batch.
-func (s *Store) Tick() uint32 {
-	s.clock++
-	if s.clock == 0 {
-		panic("quorum.Store: timestamp clock overflow")
+// StampBatch computes the Lamport timestamp for one access batch and
+// advances the written rows' clocks to it: 1 + the maximum row stamp over
+// the variables the batch WRITES (a write must outrank every stamp already
+// on its row, and a row's stamp upper-bounds them). Read-only batches
+// return 0 without touching any clock — no write uses the stamp, and a
+// row's ordering is carried entirely by its own write chain. The Engine
+// calls this once per batch in place of a global tick; batches writing
+// disjoint variable sets neither observe nor perturb each other's clocks,
+// which is what lets pool engines run disjoint-module components
+// concurrently yet bit-for-bit identically to serial execution.
+func (s *Store) StampBatch(reqs []Request) uint64 {
+	var now uint64
+	writes := false
+	for i := range reqs {
+		if !reqs[i].Write {
+			continue
+		}
+		writes = true
+		if c := s.rowStamp[reqs[i].Var]; c > now {
+			now = c
+		}
 	}
-	return s.clock
+	if !writes {
+		return 0
+	}
+	now++
+	for i := range reqs {
+		if reqs[i].Write {
+			s.rowStamp[reqs[i].Var] = now
+		}
+	}
+	return now
 }
 
-// Clock returns the current logical time.
-func (s *Store) Clock() uint32 { return s.clock }
+// Tick advances every row clock to one past the store's maximum — the
+// global-clock view, equivalent to stamping a batch that writes every
+// variable. It survives for direct store users and tests; the engine
+// stamps per batch. O(m); not for hot paths.
+func (s *Store) Tick() uint64 {
+	now := s.Clock() + 1
+	for v := range s.rowStamp {
+		s.rowStamp[v] = now
+	}
+	return now
+}
+
+// Clock returns the current logical time: the maximum over the per-row
+// clocks. O(m); not for hot paths.
+func (s *Store) Clock() uint64 {
+	var max uint64
+	for _, c := range s.rowStamp {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// RowStamp returns the stamp of variable v's latest write batch.
+func (s *Store) RowStamp(v int) uint64 { return s.rowStamp[v] }
 
 // WriteCopy stamps copy j of variable v with (value, now).
-func (s *Store) WriteCopy(v, j int, value model.Word, now uint32) {
-	i := v*s.r + j
-	s.val[i] = value
-	s.ts[i] = now
+func (s *Store) WriteCopy(v, j int, value model.Word, now uint64) {
+	s.cells[v*s.r+j] = cell{val: value, ts: now}
 }
 
 // ReadCopy returns copy j of variable v with its timestamp.
-func (s *Store) ReadCopy(v, j int) (model.Word, uint32) {
-	i := v*s.r + j
-	return s.val[i], s.ts[i]
+func (s *Store) ReadCopy(v, j int) (model.Word, uint64) {
+	c := s.cells[v*s.r+j]
+	return c.val, c.ts
 }
 
 // LoadCell initializes every copy of v to value at time zero, bypassing the
 // protocol (workload setup).
 func (s *Store) LoadCell(v int, value model.Word) {
 	for j := 0; j < s.r; j++ {
-		i := v*s.r + j
-		s.val[i] = value
-		s.ts[i] = 0
+		s.cells[v*s.r+j] = cell{val: value}
 	}
 }
 
@@ -100,13 +269,11 @@ func (s *Store) LoadCell(v int, value model.Word) {
 // produce: the freshest copy. Reading all copies (not just c) is legitimate
 // here because this is the zero-cost debug/verification view.
 func (s *Store) CommittedValue(v int) model.Word {
-	best := s.val[v*s.r]
-	bestTS := s.ts[v*s.r]
+	best, bestTS := s.ReadCopy(v, 0)
 	for j := 1; j < s.r; j++ {
-		i := v*s.r + j
-		if s.ts[i] > bestTS {
-			bestTS = s.ts[i]
-			best = s.val[i]
+		if val, ts := s.ReadCopy(v, j); ts > bestTS {
+			bestTS = ts
+			best = val
 		}
 	}
 	return best
@@ -115,22 +282,66 @@ func (s *Store) CommittedValue(v int) model.Word {
 // FreshCopies returns how many copies of v carry its maximum timestamp —
 // at least c after any protocol write, an invariant the tests assert.
 func (s *Store) FreshCopies(v int) int {
-	maxTS := uint32(0)
+	var maxTS uint64
 	for j := 0; j < s.r; j++ {
-		if t := s.ts[v*s.r+j]; t > maxTS {
+		if _, t := s.ReadCopy(v, j); t > maxTS {
 			maxTS = t
 		}
 	}
 	k := 0
 	for j := 0; j < s.r; j++ {
-		if s.ts[v*s.r+j] == maxTS {
+		if _, t := s.ReadCopy(v, j); t == maxTS {
 			k++
 		}
 	}
 	return k
 }
 
+// ModuleSegment returns the half-open range into the module shard index
+// owned by module mod — the unit of shard ownership (see the package
+// doc). ModuleCells resolves the range to cell indices. Builds the lazy
+// index; diagnostics only, not safe concurrently with execution.
+func (s *Store) ModuleSegment(mod int) (start, end int) {
+	s.shardIndex()
+	return int(s.seg[mod]), int(s.seg[mod+1])
+}
+
+// ModuleCells returns the dense cell indices (v·r+j) of module mod's
+// shard: exactly the cells a distributed deployment would place on module
+// mod's node. The returned slice aliases the lazy shard index and must
+// not be modified; diagnostics only, not safe concurrently with
+// execution.
+func (s *Store) ModuleCells(mod int) []int32 {
+	s.shardIndex()
+	return s.modIdx[s.seg[mod]:s.seg[mod+1]]
+}
+
+// Fingerprint hashes the full copy state — every (value, timestamp) pair in
+// variable-major order — with FNV-1a. Two stores with equal fingerprints
+// hold bit-for-bit identical replicated images, which is how the pool
+// differential tests compare concurrent execution against the serial
+// reference without exporting the arrays.
+func (s *Store) Fingerprint() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(x uint64) {
+		for b := 0; b < 64; b += 8 {
+			h ^= (x >> b) & 0xff
+			h *= prime
+		}
+	}
+	for _, c := range s.cells {
+		mix(uint64(c.val))
+		mix(c.ts)
+	}
+	return h
+}
+
 // String describes the store.
 func (s *Store) String() string {
-	return fmt.Sprintf("quorum.Store{vars=%d r=%d clock=%d}", s.mp.Vars(), s.r, s.clock)
+	return fmt.Sprintf("quorum.Store{vars=%d r=%d modules=%d clock=%d}",
+		s.mp.Vars(), s.r, s.mp.Modules(), s.Clock())
 }

@@ -1,0 +1,145 @@
+package quorum
+
+import (
+	"testing"
+
+	"repro/internal/memmap"
+	"repro/internal/model"
+)
+
+// TestClockCrossesUint32Boundary is the regression test for the old uint32
+// timestamp clock, which panicked ("timestamp clock overflow") once a
+// long-running server's batch count wrapped 2^32. The clock and stamps are
+// uint64 now: starting every module clock just below the old overflow
+// point, batches must stream across the boundary with correct read values
+// and strictly advancing stamps.
+func TestClockCrossesUint32Boundary(t *testing.T) {
+	const n = 64
+	p := memmap.LemmaTwo(n, 2, 1)
+	st := NewStore(memmap.Generate(p, 11))
+	eng := NewEngine(st, NewCompleteBipartite(), n)
+
+	start := uint64(1)<<32 - 2 // two batches below the old panic point
+	for v := range st.rowStamp {
+		st.rowStamp[v] = start
+	}
+
+	for round := 0; round < 6; round++ {
+		writes := make([]Request, n)
+		for i := range writes {
+			writes[i] = Request{Proc: i, Var: i, Write: true, Value: model.Word(round*n + i)}
+		}
+		if res := eng.ExecuteBatch(writes); res.Stalled {
+			t.Fatalf("round %d: write batch stalled", round)
+		}
+		reads := make([]Request, n)
+		for i := range reads {
+			reads[i] = Request{Proc: i, Var: i}
+		}
+		res := eng.ExecuteBatch(reads)
+		if res.Stalled {
+			t.Fatalf("round %d: read batch stalled", round)
+		}
+		for i := range reads {
+			if want := model.Word(round*n + i); res.Values[i] != want {
+				t.Fatalf("round %d: read var %d = %d, want %d (clock=%d)",
+					round, i, res.Values[i], want, st.Clock())
+			}
+		}
+	}
+	if c := st.Clock(); c <= 1<<32 {
+		t.Errorf("clock = %d, expected to have crossed the old uint32 overflow point %d", c, uint64(1)<<32)
+	}
+}
+
+// TestStoreModuleSharding checks the module shard index: the segments
+// tile the m·r cells exactly, every cell appears in exactly one module's
+// shard, and it is the shard of the module the memory map places that
+// copy in.
+func TestStoreModuleSharding(t *testing.T) {
+	p := memmap.LemmaTwo(64, 2, 1)
+	mp := memmap.Generate(p, 7)
+	st := NewStore(mp)
+
+	cells := mp.Vars() * mp.R()
+	seen := make([]bool, cells)
+	covered := 0
+	for mod := 0; mod < mp.Modules(); mod++ {
+		start, end := st.ModuleSegment(mod)
+		if start > end || start < 0 || end > cells {
+			t.Fatalf("module %d: malformed segment [%d, %d)", mod, start, end)
+		}
+		shard := st.ModuleCells(mod)
+		if len(shard) != end-start {
+			t.Fatalf("module %d: %d cells for segment [%d, %d)", mod, len(shard), start, end)
+		}
+		covered += len(shard)
+		for _, ci := range shard {
+			v, j := int(ci)/mp.R(), int(ci)%mp.R()
+			if seen[ci] {
+				t.Fatalf("cell %d (v=%d j=%d) owned by two shards", ci, v, j)
+			}
+			seen[ci] = true
+			if mp.ModuleOf(v, j) != mod {
+				t.Fatalf("cell (v=%d j=%d) in module %d's shard, map says %d",
+					v, j, mod, mp.ModuleOf(v, j))
+			}
+		}
+	}
+	if covered != cells {
+		t.Fatalf("shards cover %d cells, want %d", covered, cells)
+	}
+}
+
+// TestStampBatchRowLocality checks the Lamport stamping rule: a batch's
+// stamp is one past the maximum row stamp over the variables it WRITES,
+// exactly those rows' stamps advance to it, read-only batches stamp
+// nothing — the properties that make disjoint batches order-independent.
+func TestStampBatchRowLocality(t *testing.T) {
+	p := memmap.LemmaTwo(32, 2, 1)
+	mp := memmap.Generate(p, 3)
+	st := NewStore(mp)
+
+	// Seed the written row's clock high; the stamp must clear it. The read
+	// row's higher clock must NOT feed the stamp.
+	st.rowStamp[5] = 41
+	st.rowStamp[9] = 90
+	reqs := []Request{{Proc: 0, Var: 5, Write: true, Value: 1}, {Proc: 1, Var: 9}}
+	now := st.StampBatch(reqs)
+	if now != 42 {
+		t.Fatalf("stamp = %d, want 42 (one past the hottest WRITTEN row)", now)
+	}
+	if st.RowStamp(5) != 42 {
+		t.Errorf("written row stamp = %d, want 42", st.RowStamp(5))
+	}
+	if st.RowStamp(9) != 90 {
+		t.Errorf("read row stamp = %d, want untouched 90", st.RowStamp(9))
+	}
+	if st.RowStamp(7) != 0 {
+		t.Errorf("unrelated row stamp = %d, want 0", st.RowStamp(7))
+	}
+	// A read-only batch stamps nothing and returns 0.
+	if got := st.StampBatch([]Request{{Proc: 0, Var: 5}}); got != 0 {
+		t.Errorf("read-only batch stamp = %d, want 0", got)
+	}
+	if st.RowStamp(5) != 42 {
+		t.Errorf("read-only batch moved row 5's stamp to %d", st.RowStamp(5))
+	}
+}
+
+// TestStoreFingerprintSensitivity: equal images hash equal; changing one
+// copy's value or timestamp changes the fingerprint.
+func TestStoreFingerprintSensitivity(t *testing.T) {
+	p := memmap.LemmaTwo(16, 2, 1)
+	mp := memmap.Generate(p, 5)
+	a, b := NewStore(mp), NewStore(mp)
+	a.LoadCell(3, 77)
+	b.LoadCell(3, 77)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical images produced different fingerprints")
+	}
+	b.WriteCopy(3, 1, 77, 9) // same value, new stamp
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("timestamp change not reflected in fingerprint")
+	}
+}
