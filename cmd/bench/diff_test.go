@@ -34,8 +34,8 @@ func TestCompareSnapshots(t *testing.T) {
 		{Name: "E4MPCStep/n=256", NsPerOp: 900, AllocsPerOp: 12}, // not zero-alloc: ignored
 	}}
 	cur := Snapshot{Results: []Result{
-		{Name: "E3DMMPCStep/n=1024", NsPerOp: 1099, AllocsPerOp: 0},  // +9.9%: within threshold
-		{Name: "E5MOT2DStep/n=256", NsPerOp: 2500, AllocsPerOp: 0},   // +25%: regression
+		{Name: "E3DMMPCStep/n=1024", NsPerOp: 1099, AllocsPerOp: 0},       // +9.9%: within threshold
+		{Name: "E5MOT2DStep/n=256", NsPerOp: 2500, AllocsPerOp: 0},        // +25%: regression
 		{Name: "MOTNetworkPhase/side=1024", NsPerOp: 450, AllocsPerOp: 3}, // allocs appeared
 		{Name: "E4MPCStep/n=256", NsPerOp: 5000, AllocsPerOp: 12},
 		{Name: "Brand/new", NsPerOp: 1, AllocsPerOp: 0}, // no baseline: ignored

@@ -18,9 +18,11 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"runtime"
@@ -32,6 +34,7 @@ import (
 	"repro/internal/mot"
 	"repro/internal/mpc"
 	"repro/internal/quorum"
+	"repro/internal/replay"
 
 	"repro/internal/memmap"
 )
@@ -282,6 +285,87 @@ func main() {
 			}
 		}
 		fmt.Printf("E12 n=%d pool speedup K=4 vs K=1: %.2fx\n", nTotal, speedup[0]/speedup[1])
+	}
+
+	// E13: trace replay at production sizes (ROADMAP's "trace replay at
+	// n ≥ 4096" lane). A short E5-shape permutation-read trace is recorded
+	// once, then replayed straight into the engine: E13ReplayStep measures
+	// one replayed step (frame decode + ExecuteDedupStep, rewinding at end
+	// of file), E13LiveStep the same machine's full ExecuteStep front end
+	// on the same batch. Replay additionally amortizes the machine
+	// construction — paid once per trace instead of once per sweep point —
+	// which is what makes the n=4096 family routine.
+	for _, c := range []struct {
+		n     int
+		delta float64
+		steps int
+	}{{1024, 1.8, 4}, {4096, 1.333, 3}} {
+		rcfg := replay.Config{Kind: replay.KindMOT2D, Lanes: 1, Procs: c.n,
+			Mode: model.CRCWPriority, KExp: 1.5, Gran: c.delta}
+		constructStart := time.Now()
+		built, err := rcfg.Build()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "E13 build:", err)
+			os.Exit(1)
+		}
+		construct := time.Since(constructStart)
+		var buf bytes.Buffer
+		rec, err := replay.NewRecorder(&buf, built)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "E13 record:", err)
+			os.Exit(1)
+		}
+		batch := permBatch(c.n, 5)
+		for s := 0; s < c.steps; s++ {
+			if rep := built.Machine.ExecuteStep(batch); rep.Err != nil {
+				fmt.Fprintln(os.Stderr, "E13 record step:", rep.Err)
+				os.Exit(1)
+			}
+		}
+		if err := rec.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "E13 record close:", err)
+			os.Exit(1)
+		}
+		live := measure(fmt.Sprintf("E13LiveStep/n=%d", c.n), built.Machine, batch)
+		rd := bytes.NewReader(buf.Bytes())
+		rp, err := replay.Open(rd)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "E13 open:", err)
+			os.Exit(1)
+		}
+		step := func() {
+			for {
+				executed, err := rp.Step()
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "E13 replay:", err)
+					os.Exit(1)
+				}
+				if executed {
+					return
+				}
+				rd.Seek(0, io.SeekStart)
+				if err := rp.Reset(rd); err != nil {
+					fmt.Fprintln(os.Stderr, "E13 rewind:", err)
+					os.Exit(1)
+				}
+			}
+		}
+		for i := 0; i < c.steps+1; i++ { // warm arenas across a rewind
+			step()
+		}
+		res := measureMin(fmt.Sprintf("E13ReplayStep/n=%d", c.n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				step()
+			}
+		})
+		// The replayed step IS the live step's simulation (bit-for-bit,
+		// see internal/replay's differential tests): same sim counters.
+		res.SimTime, res.SimPhases, res.SimCycles, res.SimCopyAccess =
+			live.SimTime, live.SimPhases, live.SimCycles, live.SimCopyAccess
+		snap.Results = append(snap.Results, live, res)
+		fmt.Printf("E13 n=%d: replayed step %.2fx vs live step (%.1fms vs %.1fms); construction %v amortized per trace file\n",
+			c.n, live.NsPerOp/res.NsPerOp, res.NsPerOp/1e6, live.NsPerOp/1e6, construct.Round(time.Millisecond))
 	}
 
 	// Substrate micro-benchmarks: the two zero-alloc hot paths.

@@ -38,6 +38,14 @@ type MOTConfig struct {
 	// router, > 1 uses that many workers, < 0 uses GOMAXPROCS. Routing is
 	// bit-for-bit identical at every setting (see repro/internal/mot).
 	Parallelism int
+	// Engines is the workload-shard count K of the multi-engine
+	// deployment (NewMOT2DPool): 0 consults PRAMSIM_ENGINES (absent/off
+	// → 1), > 0 uses exactly that many, < 0 uses GOMAXPROCS. Single-
+	// machine constructors ignore it.
+	Engines int
+	// Workers bounds the pool's executor goroutines (0 → min(Engines,
+	// GOMAXPROCS)); see quorum.PoolConfig.Workers.
+	Workers int
 }
 
 func (c *MOTConfig) fill() {
@@ -96,6 +104,58 @@ func NewMOT2D(n int, cfg MOTConfig) *MOT2D {
 		m.SetTwoStage(&quorum.TwoStageConfig{})
 	}
 	return m
+}
+
+// MOT2DPool is the multi-program deployment of the Theorem 3 machine: K
+// independent engines, each simulating its own n-processor P-RAM program,
+// execute concurrently against ONE sharded memory image, each routing its
+// phases over its OWN √M × √M mesh of trees (interconnects hold per-engine
+// scratch and clocks; a distributed deployment would give each serving
+// lane its own fabric). The memory map is banded K ways over the grid's
+// banks (memmap.GenerateBanded), so band-local programs touch disjoint
+// module sets by construction; cross-band traffic stays correct and is
+// serialized per module-connectivity component by the pool's deterministic
+// merge.
+type MOT2DPool struct {
+	*quorum.Pool
+	P    memmap.Params
+	Side int
+}
+
+// NewMOT2DPool builds the K-engine 2DMOT deployment: Theorem 3 parameters
+// at the TOTAL processor count K·n, a banded seeded map, one leaf-deployed
+// mesh network per engine. Program k should address the variable band
+// [k·m/K, (k+1)·m/K) for full parallelism.
+func NewMOT2DPool(n int, cfg MOTConfig) *MOT2DPool {
+	cfg.fill()
+	k := quorum.ResolveEngines(cfg.Engines)
+	nTotal := n * k
+	var p memmap.Params
+	var side int
+	if cfg.DualRail {
+		p, side = memmap.TheoremThreeDual(nTotal, cfg.K, cfg.Delta)
+	} else {
+		p, side = memmap.TheoremThree(nTotal, cfg.K, cfg.Delta)
+	}
+	if nTotal > side {
+		panic(fmt.Sprintf("core.NewMOT2DPool: K·n=%d exceeds grid side %d", nTotal, side))
+	}
+	mp := memmap.GenerateBanded(p, cfg.Seed, k)
+	name := fmt.Sprintf("2DMOTPool(K=%d, n=%d, side=%d, r=%d)", k, n, side, p.R())
+	var ts *quorum.TwoStageConfig
+	if cfg.TwoStage {
+		ts = &quorum.TwoStageConfig{}
+	}
+	return &MOT2DPool{
+		Pool: quorum.NewPool(name, quorum.NewStore(mp),
+			func(int) quorum.Interconnect {
+				return mot.NewNetwork(side, mot.ModulesAtLeaves,
+					mot.Config{Policy: cfg.Policy, DualRail: cfg.DualRail, Parallelism: cfg.Parallelism})
+			},
+			quorum.PoolConfig{Engines: k, Procs: n, Mode: cfg.Mode, Workers: cfg.Workers, TwoStage: ts}),
+		P:    p,
+		Side: side,
+	}
 }
 
 // Luccio is the baseline 2DMOT deployment of Luccio, Pietracaprina & Pucci

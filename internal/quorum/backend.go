@@ -52,6 +52,12 @@ type Machine struct {
 	// schedule for every batch (SetTwoStage).
 	twoStage *TwoStageConfig
 
+	// sink, when non-nil, observes every executed step's post-dedup
+	// batches under lane id `lane` (SetStepSink; the trace record/replay
+	// hook).
+	sink StepSink
+	lane int
+
 	sc stepScratch
 }
 
@@ -64,6 +70,11 @@ type stepScratch struct {
 	readEnd   []int32 // per read request: end of its reader run in recs
 	writeReqs []Request
 	values    []model.Word // dense per-proc read values (the StepReport.Values buffer)
+
+	// Reader fan-out lists for the step sink (buildReaderLists); only
+	// recording runs populate them.
+	readerOff   []int32
+	readerProcs []int32
 }
 
 // NewMachine assembles a quorum-protocol backend.
@@ -245,11 +256,23 @@ func (m *Machine) ExecuteStep(batch model.Batch) model.StepReport {
 			values[recs[k].Proc] = v
 		}
 	}
-	readStalled, readPhases, readLastLive := rres.Stalled, rres.Phases, lastLive(rres)
+	readLastLive := lastLive(rres)
 
 	wres := m.runBatch(writeReqs)
+	rep = m.assembleReport(rep, rres, wres, readLastLive)
 
-	// --- Assemble the report. ---
+	if m.sink != nil {
+		off, procs := m.buildReaderLists()
+		m.sink.RecordStep(m.lane, readReqs, off, procs, writeReqs, rep)
+	}
+	return rep
+}
+
+// assembleReport fills the cost and error fields of a step report from the
+// read- and write-batch results. Only the scalar fields of rres are read
+// (its slices were clobbered by the write batch's run); readLastLive is the
+// read batch's final live count, saved before the clobber.
+func (m *Machine) assembleReport(rep model.StepReport, rres, wres Result, readLastLive int) model.StepReport {
 	rep.Time = rres.Time + wres.Time
 	rep.Phases = rres.Phases + wres.Phases
 	rep.CopyAccesses = rres.CopyAccesses + wres.CopyAccesses
@@ -260,8 +283,8 @@ func (m *Machine) ExecuteStep(batch model.Batch) model.StepReport {
 	if wres.MaxModuleLoad > rep.ModuleContention {
 		rep.ModuleContention = wres.MaxModuleLoad
 	}
-	if readStalled && rep.Err == nil {
-		rep.Err = &StallError{Batch: "read", Phases: readPhases, Live: readLastLive}
+	if rres.Stalled && rep.Err == nil {
+		rep.Err = &StallError{Batch: "read", Phases: rres.Phases, Live: readLastLive}
 	}
 	if wres.Stalled && rep.Err == nil {
 		rep.Err = &StallError{Batch: "write", Phases: wres.Phases, Live: lastLive(wres)}
@@ -276,6 +299,9 @@ func (m *Machine) ReadCell(a model.Addr) model.Word { return m.store.CommittedVa
 func (m *Machine) LoadCells(base model.Addr, vals []model.Word) {
 	for i, v := range vals {
 		m.store.LoadCell(base+i, v)
+	}
+	if m.sink != nil {
+		m.sink.RecordLoad(m.lane, base, vals)
 	}
 }
 

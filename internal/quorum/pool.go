@@ -82,8 +82,14 @@ type Pool struct {
 	lastComp   int
 
 	batches []model.Batch // current step's shard batches (set for the step)
+	dedup   []DedupStep   // current step's pre-deduplicated batches (replay)
 	reports []model.StepReport
 	agg     model.StepReport
+
+	// sink, when non-nil, is notified after every ExecuteSteps round
+	// (StepBarrier); the shard machines carry the per-lane RecordStep
+	// hooks (SetStepSink).
+	sink StepSink
 
 	workers *poolWorkers
 }
@@ -231,6 +237,18 @@ func (p *Pool) SetWorkers(w int) {
 	p.par = w
 }
 
+// SetStepSink attaches a step sink to every shard machine — shard k
+// records under lane k, the trace format's shard-lane layout — and to the
+// pool itself, which calls sink.StepBarrier after every ExecuteSteps round
+// (nil detaches everywhere). Attach before the first step; see
+// Machine.SetStepSink.
+func (p *Pool) SetStepSink(sink StepSink) {
+	p.sink = sink
+	for k, m := range p.machines {
+		m.SetStepSink(sink, k)
+	}
+}
+
 // ExecuteSteps runs one P-RAM step per workload shard — batches[k] on
 // shard k's machine — and returns the deterministic aggregate report plus
 // the per-shard reports. len(batches) must equal Engines(); idle shards
@@ -245,34 +263,73 @@ func (p *Pool) ExecuteSteps(batches []model.Batch) (model.StepReport, []model.St
 		panic(fmt.Sprintf("quorum.Pool: %d batches for %d engines", len(batches), p.k))
 	}
 	ncomp := p.partition(batches)
-	p.lastComp = ncomp
 	p.batches = batches
+	p.dispatch(ncomp)
+	p.batches = nil
 
+	model.MergeStepReports(&p.agg, p.reports, p.n)
+	if p.sink != nil {
+		p.sink.StepBarrier()
+	}
+	return p.agg, p.reports
+}
+
+// DedupStep is one shard's pre-deduplicated step — the post-dedup read and
+// write batches plus the reader fan-out lists a StepSink captured — the
+// unit Pool.ExecuteDedupSteps replays. See Machine.ExecuteDedupStep for
+// the field semantics.
+type DedupStep struct {
+	Reads       []Request
+	ReaderOff   []int32
+	ReaderProcs []int32
+	Writes      []Request
+}
+
+// ExecuteDedupSteps is ExecuteSteps for pre-deduplicated steps — the
+// replay entry point. It partitions the shard steps into the same
+// module-connectivity components (the request batches name exactly the
+// variables the original batches touched, so the components match the
+// recorded run's) and executes each shard via ExecuteDedupStep. Aliasing
+// and determinism contracts are ExecuteSteps'; step sinks are NOT invoked.
+func (p *Pool) ExecuteDedupSteps(steps []DedupStep) (model.StepReport, []model.StepReport) {
+	if len(steps) != p.k {
+		panic(fmt.Sprintf("quorum.Pool: %d dedup steps for %d engines", len(steps), p.k))
+	}
+	ncomp := p.partitionDedup(steps)
+	p.dedup = steps
+	p.dispatch(ncomp)
+	p.dedup = nil
+
+	model.MergeStepReports(&p.agg, p.reports, p.n)
+	return p.agg, p.reports
+}
+
+// dispatch executes the partitioned components — serially on the caller,
+// or on the worker pool when both the worker count and the component count
+// allow parallelism.
+func (p *Pool) dispatch(ncomp int) {
+	p.lastComp = ncomp
 	if p.par == 1 || ncomp == 1 {
 		// Serial path: every component on the caller, in component order.
 		for c := 0; c < ncomp; c++ {
 			p.runComponent(c)
 		}
-	} else {
-		w := p.ensureWorkers()
-		w.p, w.ncomp = p, int32(ncomp)
-		w.next.Store(0)
-		wake := p.par - 1
-		if ncomp-1 < wake {
-			wake = ncomp - 1
-		}
-		w.wg.Add(wake)
-		for i := 0; i < wake; i++ {
-			w.start <- struct{}{}
-		}
-		w.drain()
-		w.wg.Wait()
-		w.p = nil
+		return
 	}
-	p.batches = nil
-
-	model.MergeStepReports(&p.agg, p.reports, p.n)
-	return p.agg, p.reports
+	w := p.ensureWorkers()
+	w.p, w.ncomp = p, int32(ncomp)
+	w.next.Store(0)
+	wake := p.par - 1
+	if ncomp-1 < wake {
+		wake = ncomp - 1
+	}
+	w.wg.Add(wake)
+	for i := 0; i < wake; i++ {
+		w.start <- struct{}{}
+	}
+	w.drain()
+	w.wg.Wait()
+	w.p = nil
 }
 
 // partition groups the step's shard batches into module-connectivity
@@ -281,27 +338,58 @@ func (p *Pool) ExecuteSteps(batches []model.Batch) (model.StepReport, []model.St
 // ascending order — the serial reference order, which is what makes the
 // merge deterministic.
 func (p *Pool) partition(batches []model.Batch) int {
-	p.step++
-	mp := p.store.Map()
-	for i := range p.ufParent {
-		p.ufParent[i] = int32(i)
-		p.compID[i] = -1
-	}
+	p.partitionReset()
 	for k, b := range batches {
 		for i := range b {
 			if b[i].Op == model.OpNone {
 				continue
 			}
-			for _, mod := range mp.Copies(b[i].Addr) {
-				if p.modStamp[mod] != p.step {
-					p.modStamp[mod] = p.step
-					p.modOwner[mod] = int32(k)
-				} else {
-					p.union(int32(k), p.modOwner[mod])
-				}
-			}
+			p.touchVar(int32(k), b[i].Addr)
 		}
 	}
+	return p.numberComponents()
+}
+
+// partitionDedup is partition over pre-deduplicated steps: the request
+// batches name exactly the variables the original batches touched (dedup
+// only collapses duplicates), so the component structure is identical.
+func (p *Pool) partitionDedup(steps []DedupStep) int {
+	p.partitionReset()
+	for k := range steps {
+		for i := range steps[k].Reads {
+			p.touchVar(int32(k), steps[k].Reads[i].Var)
+		}
+		for i := range steps[k].Writes {
+			p.touchVar(int32(k), steps[k].Writes[i].Var)
+		}
+	}
+	return p.numberComponents()
+}
+
+// partitionReset opens a new step's partition epoch.
+func (p *Pool) partitionReset() {
+	p.step++
+	for i := range p.ufParent {
+		p.ufParent[i] = int32(i)
+		p.compID[i] = -1
+	}
+}
+
+// touchVar links shard k to every module holding a copy of variable v,
+// merging it with any shard that touched one of them earlier this step.
+func (p *Pool) touchVar(k int32, v int) {
+	for _, mod := range p.store.Map().Copies(v) {
+		if p.modStamp[mod] != p.step {
+			p.modStamp[mod] = p.step
+			p.modOwner[mod] = k
+		} else {
+			p.union(k, p.modOwner[mod])
+		}
+	}
+}
+
+// numberComponents finishes a partition epoch.
+func (p *Pool) numberComponents() int {
 	// Number components by first appearance (ascending shard index) and
 	// counting-sort the shards by component, preserving shard order.
 	ncomp := int32(0)
@@ -352,14 +440,20 @@ func (p *Pool) union(a, b int32) {
 }
 
 // runComponent executes one component's shard steps serially in ascending
-// shard order.
+// shard order, from whichever source (live batches or pre-deduplicated
+// replay steps) the current dispatch set.
 func (p *Pool) runComponent(c int) {
 	beg := int32(0)
 	if c > 0 {
 		beg = p.compEnd[c-1]
 	}
 	for _, k := range p.compShards[beg:p.compEnd[c]] {
-		p.reports[k] = p.machines[k].ExecuteStep(p.batches[k])
+		if p.dedup != nil {
+			s := &p.dedup[k]
+			p.reports[k] = p.machines[k].ExecuteDedupStep(s.Reads, s.ReaderOff, s.ReaderProcs, s.Writes)
+		} else {
+			p.reports[k] = p.machines[k].ExecuteStep(p.batches[k])
+		}
 	}
 }
 

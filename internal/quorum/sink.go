@@ -1,0 +1,135 @@
+package quorum
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// StepSink observes the post-dedup request stream at the engine/pool
+// boundary — the hook the trace record/replay subsystem (repro/internal/
+// replay) captures machine runs through. A Machine with a sink attached
+// reports, after every executed step, the deduplicated read and write
+// batches it fed the engine, the reader fan-out lists that turn per-request
+// read values back into per-processor values, and the step's cost report.
+//
+// All slice arguments alias machine scratch and are valid only for the
+// duration of the call: a sink must encode or copy what it keeps. Sinks
+// must not mutate any argument and must not call back into the machine.
+//
+// In a multi-engine Pool every shard machine carries its own lane id
+// (Pool.SetStepSink assigns lane k to shard k), and shard machines execute
+// concurrently: RecordStep may be called from different goroutines for
+// DIFFERENT lanes at the same time, never concurrently for one lane. The
+// pool calls StepBarrier from the caller's goroutine after each
+// ExecuteSteps round, with every RecordStep of the round ordered before it
+// (the pool's worker barrier publishes them) — the point where a recorder
+// can serialize the round's lanes in canonical ascending order.
+type StepSink interface {
+	// RecordStep reports one executed step: the deduplicated batches, the
+	// per-read-request reader lists (readerProcs[readerOff[g]:readerOff[g+1]]
+	// are the ascending processor ids whose reads collapsed into reads[g];
+	// the run starts with reads[g].Proc itself), and the assembled report.
+	RecordStep(lane int, reads []Request, readerOff, readerProcs []int32, writes []Request, rep model.StepReport)
+	// RecordLoad reports a LoadCells memory initialization. Loads must not
+	// interleave with pool step execution (they are setup-time events).
+	RecordLoad(lane int, base model.Addr, vals []model.Word)
+	// StepBarrier marks the end of one Pool.ExecuteSteps round. Single
+	// machines never call it.
+	StepBarrier()
+}
+
+// SetStepSink attaches a step sink to the machine under the given lane id
+// (nil detaches). Attach before the first step: a trace that misses steps
+// since construction replays against interconnect and clock state the
+// recorded costs did not see. Replay entry points (ExecuteDedupStep) never
+// invoke the sink, so replaying through a recording machine cannot
+// re-record.
+func (m *Machine) SetStepSink(sink StepSink, lane int) {
+	m.sink = sink
+	m.lane = lane
+}
+
+// buildReaderLists materializes the reader fan-out — for every deduplicated
+// read request g, the ascending processor ids recs[readStart[g]:readEnd[g]]
+// that issued reads of its variable — as flat int32 arrays in the scratch
+// arena. Only recording runs pay for it.
+func (m *Machine) buildReaderLists() ([]int32, []int32) {
+	sc := &m.sc
+	sc.readerOff = sc.readerOff[:0]
+	sc.readerProcs = sc.readerProcs[:0]
+	for g := range sc.readReqs {
+		sc.readerOff = append(sc.readerOff, int32(len(sc.readerProcs)))
+		for k := sc.readStart[g]; k < sc.readEnd[g]; k++ {
+			sc.readerProcs = append(sc.readerProcs, int32(sc.recs[k].Proc))
+		}
+	}
+	sc.readerOff = append(sc.readerOff, int32(len(sc.readerProcs)))
+	return sc.readerOff, sc.readerProcs
+}
+
+// ExecuteDedupStep executes one P-RAM step from its POST-DEDUP form — the
+// deduplicated read batch, the reader fan-out lists, and the deduplicated
+// write batch, exactly what a StepSink observed — skipping the sort/dedup/
+// conflict-check front of ExecuteStep. It is the replay entry point: cost
+// accounting, store mutations and the dense Values buffer are bit-for-bit
+// those of the ExecuteStep call the batches were captured from (conflict-
+// discipline checking is a dedup-layer property and is not re-run, so
+// rep.Err only reports protocol stalls).
+//
+// readerOff/readerProcs may be nil, in which case each read's value is
+// fanned out to its representative processor only. The returned report
+// aliases machine scratch like ExecuteStep's. The sink, if any, is NOT
+// invoked.
+func (m *Machine) ExecuteDedupStep(reads []Request, readerOff, readerProcs []int32, writes []Request) model.StepReport {
+	if readerOff != nil && len(readerOff) != len(reads)+1 {
+		panic(fmt.Sprintf("quorum.ExecuteDedupStep: %d reader offsets for %d reads", len(readerOff), len(reads)))
+	}
+	sc := &m.sc
+
+	// Size the dense Values buffer by the same rule as ExecuteStep: at
+	// least one slot per machine processor, extended to the largest
+	// processor id the step names.
+	maxProc := m.n - 1
+	for i := range reads {
+		if reads[i].Proc > maxProc {
+			maxProc = reads[i].Proc
+		}
+	}
+	for _, p := range readerProcs {
+		if int(p) > maxProc {
+			maxProc = int(p)
+		}
+	}
+	for i := range writes {
+		if writes[i].Proc > maxProc {
+			maxProc = writes[i].Proc
+		}
+	}
+
+	var rep model.StepReport
+	sc.values = grow(sc.values, maxProc+1)
+	values := sc.values
+	clear(values)
+	rep.Values = values
+
+	rres := m.runBatch(reads)
+	// Fan the per-request values out to every recorded reader NOW: the
+	// write batch below reuses the engine's result buffers.
+	if readerOff != nil {
+		for g := range reads {
+			v := rres.Values[g]
+			for _, p := range readerProcs[readerOff[g]:readerOff[g+1]] {
+				values[p] = v
+			}
+		}
+	} else {
+		for g := range reads {
+			values[reads[g].Proc] = rres.Values[g]
+		}
+	}
+	readLastLive := lastLive(rres)
+
+	wres := m.runBatch(writes)
+	return m.assembleReport(rep, rres, wres, readLastLive)
+}

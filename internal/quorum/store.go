@@ -85,6 +85,28 @@
 // alias each shard Machine's scratch (valid until that shard's next step),
 // and the aggregate report's Values slice aliases a pool-owned buffer
 // (valid until the pool's next ExecuteSteps).
+//
+// # Trace replay
+//
+// The machine/pool boundary is also the capture point of the trace
+// record/replay subsystem (repro/internal/replay): a StepSink attached via
+// Machine.SetStepSink or Pool.SetStepSink observes every executed step's
+// POST-DEDUP request batches — the exact []Request streams the engine ran —
+// plus the reader fan-out lists and the step's cost report, and
+// Machine.ExecuteDedupStep / Pool.ExecuteDedupSteps feed such batches back
+// in without the sort/dedup/conflict-check front end. Replay is bit-for-bit
+// because everything the engine's behavior depends on is a deterministic
+// function of (construction parameters, the dedup'd batch sequence): the
+// store starts zeroed, LoadCells initializations are part of the recorded
+// stream, per-row Lamport stamps advance only on recorded write batches,
+// and interconnect state (the 2DMOT's never-reset cycle clock, the
+// bipartite graph's phase stamps) evolves only per routed batch. The one
+// contract is completeness: the sink must see every step and load since
+// construction, which is why recorders attach before the first step. In a
+// Pool each shard machine records under its own lane id (shard k = lane k)
+// and the pool's StepBarrier delimits rounds, so a recorder can serialize
+// concurrent shard streams in canonical ascending-lane order — the same
+// serial reference order the pool's determinism contract is stated in.
 package quorum
 
 import (

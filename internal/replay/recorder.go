@@ -1,0 +1,207 @@
+package replay
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/quorum"
+)
+
+// Recorder captures a machine or pool run as a trace file. It implements
+// quorum.StepSink: NewRecorder writes the header and attaches the sink to
+// the built machines; the caller then drives the run exactly as it would
+// without recording (ExecuteStep / ExecuteSteps / LoadCells) and finally
+// calls Close, which appends the eof frame (recorded step count + final
+// store fingerprint) and detaches.
+//
+// Multi-lane recording is race-free by construction: each shard machine
+// encodes its frames into its own lane buffer (one goroutine per lane per
+// step, see quorum.StepSink), and the pool's StepBarrier — ordered after
+// every RecordStep of the round — flushes the round's lanes to the
+// underlying writer in ascending lane order, the pool's canonical serial
+// order. Loads are setup-time events and are written immediately.
+//
+// Writer errors are sticky: recording continues cheaply as a no-op and the
+// first error is reported by Close (and by Err).
+type Recorder struct {
+	mu      sync.Mutex // guards w/err on the flush paths
+	w       *bufio.Writer
+	built   *Built
+	lanes   int
+	steps   int64
+	pending [][]byte // per-lane framed bytes awaiting the round barrier
+	scratch [][]byte // per-lane payload encoding buffers
+	err     error
+}
+
+// NewRecorder writes the trace header for built's configuration onto w and
+// attaches the recorder to built's machines. The store must still be in
+// its post-construction state (the header embeds its fingerprint and
+// replaying readers verify it): attach before any loads or steps.
+func NewRecorder(w io.Writer, built *Built) (*Recorder, error) {
+	r := &Recorder{
+		w:       bufio.NewWriter(w),
+		built:   built,
+		lanes:   built.Cfg.Lanes,
+		pending: make([][]byte, built.Cfg.Lanes),
+		scratch: make([][]byte, built.Cfg.Lanes),
+	}
+	if _, err := r.w.Write(magic[:]); err != nil {
+		return nil, fmt.Errorf("replay: writing magic: %w", err)
+	}
+	hdr := encodeHeader(nil, built, built.Store.Fingerprint())
+	if err := r.writeFrame(kindHeader, hdr); err != nil {
+		return nil, err
+	}
+	if built.Pool != nil {
+		built.Pool.SetStepSink(r)
+	} else {
+		built.Machine.SetStepSink(r, 0)
+	}
+	return r, nil
+}
+
+// Err reports the first writer error, if any.
+func (r *Recorder) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Steps reports how many step frames have been recorded so far.
+func (r *Recorder) Steps() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.steps
+}
+
+// writeFrame emits one frame onto the buffered writer. Callers must hold
+// mu (or be on the single-threaded setup path).
+func (r *Recorder) writeFrame(kind byte, payload []byte) error {
+	if r.err != nil {
+		return r.err
+	}
+	var head [binary.MaxVarintLen64 + 1]byte
+	head[0] = kind
+	n := 1 + binary.PutUvarint(head[1:], uint64(len(payload)))
+	if _, err := r.w.Write(head[:n]); err != nil {
+		r.err = fmt.Errorf("replay: writing frame: %w", err)
+		return r.err
+	}
+	if _, err := r.w.Write(payload); err != nil {
+		r.err = fmt.Errorf("replay: writing frame: %w", err)
+		return r.err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], frameCRC(kind, payload))
+	if _, err := r.w.Write(crc[:]); err != nil {
+		r.err = fmt.Errorf("replay: writing frame: %w", err)
+	}
+	return r.err
+}
+
+// frame appends a fully framed rendering of (kind, payload) to dst.
+func frame(dst []byte, kind byte, payload []byte) []byte {
+	dst = append(dst, kind)
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	return binary.LittleEndian.AppendUint32(dst, frameCRC(kind, payload))
+}
+
+// RecordStep implements quorum.StepSink. Called by lane machines — for
+// pools, possibly concurrently across DIFFERENT lanes.
+func (r *Recorder) RecordStep(lane int, reads []quorum.Request, readerOff, readerProcs []int32,
+	writes []quorum.Request, rep model.StepReport) {
+	if lane < 0 || lane >= r.lanes {
+		r.failf("RecordStep lane %d outside [0,%d)", lane, r.lanes)
+		return
+	}
+	payload := encodeStep(r.scratch[lane][:0], lane, reads, readerOff, readerProcs, writes, costsOf(&rep))
+	r.scratch[lane] = payload
+	r.pending[lane] = frame(r.pending[lane], kindStep, payload)
+	if r.lanes == 1 {
+		r.flushRound()
+	}
+}
+
+// RecordLoad implements quorum.StepSink. Loads are setup-time,
+// single-threaded events (see quorum.StepSink) and are flushed
+// immediately, preserving global call order.
+func (r *Recorder) RecordLoad(lane int, base model.Addr, vals []model.Word) {
+	if lane < 0 || lane >= r.lanes {
+		r.failf("RecordLoad lane %d outside [0,%d)", lane, r.lanes)
+		return
+	}
+	payload := encodeLoad(r.scratch[lane][:0], lane, base, vals)
+	r.scratch[lane] = payload
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.writeFrame(kindLoad, payload)
+}
+
+// StepBarrier implements quorum.StepSink: the pool calls it after every
+// ExecuteSteps round, with all the round's RecordStep calls ordered before
+// it. Flushes the round's lanes in ascending lane order followed by a
+// barrier frame.
+func (r *Recorder) StepBarrier() {
+	r.flushRound()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.lanes > 1 {
+		r.writeFrame(kindBarrier, nil)
+	}
+}
+
+// flushRound writes every lane's pending frames in ascending lane order.
+func (r *Recorder) flushRound() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k := range r.pending {
+		if len(r.pending[k]) == 0 {
+			continue
+		}
+		if r.err == nil {
+			if _, err := r.w.Write(r.pending[k]); err != nil {
+				r.err = fmt.Errorf("replay: writing frames: %w", err)
+			}
+		}
+		r.pending[k] = r.pending[k][:0]
+		r.steps++
+	}
+}
+
+// failf latches a recording error.
+func (r *Recorder) failf(format string, args ...any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err == nil {
+		r.err = fmt.Errorf("replay: %s", fmt.Sprintf(format, args...))
+	}
+}
+
+// Close flushes any pending lanes, writes the eof frame with the final
+// store fingerprint, flushes the writer and detaches the sink. The
+// recorder must not be used afterwards.
+func (r *Recorder) Close() error {
+	r.flushRound()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.built != nil {
+		if r.built.Pool != nil {
+			r.built.Pool.SetStepSink(nil)
+		} else {
+			r.built.Machine.SetStepSink(nil, 0)
+		}
+	}
+	payload := encodeEOF(nil, r.steps, r.built.Store.Fingerprint())
+	r.writeFrame(kindEOF, payload)
+	if err := r.w.Flush(); err != nil && r.err == nil {
+		r.err = fmt.Errorf("replay: flushing trace: %w", err)
+	}
+	r.built = nil
+	return r.err
+}

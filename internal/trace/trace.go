@@ -72,10 +72,14 @@ func (r *Recorder) LoadCells(base model.Addr, vals []model.Word) {
 }
 
 // Steps returns the recorded log (alias of internal storage; treat as
-// read-only).
+// read-only — and invalidated by Reset).
 func (r *Recorder) Steps() []StepRecord { return r.log }
 
-// Reset clears the log.
+// Reset clears the log while keeping its backing array, so long-running
+// servers can rotate cost logs between reporting windows without
+// reallocating: after one full window the recorder reaches a steady state
+// where logging a step costs zero heap allocations
+// (TestResetRotatesWithoutReallocating). Step indices restart at zero.
 func (r *Recorder) Reset() { r.log = r.log[:0] }
 
 // TimeSummary summarizes per-step simulated time.

@@ -98,6 +98,45 @@ func TestReset(t *testing.T) {
 	}
 }
 
+// nullBackend is an allocation-free backend stub, so the rotation test
+// measures the Recorder's own allocations only.
+type nullBackend struct{ n, m int }
+
+func (b *nullBackend) Name() string                                 { return "null" }
+func (b *nullBackend) MemSize() int                                 { return b.m }
+func (b *nullBackend) Procs() int                                   { return b.n }
+func (b *nullBackend) ExecuteStep(model.Batch) model.StepReport     { return model.StepReport{Time: 1} }
+func (b *nullBackend) ReadCell(model.Addr) model.Word               { return 0 }
+func (b *nullBackend) LoadCells(base model.Addr, vals []model.Word) {}
+
+// TestResetRotatesWithoutReallocating is the log-rotation contract: once a
+// reporting window has grown the log's backing array, rotating via Reset
+// and refilling the window performs zero heap allocations — a long-running
+// server can rotate cost logs forever at steady state.
+func TestResetRotatesWithoutReallocating(t *testing.T) {
+	const window = 64
+	rec := Wrap(&nullBackend{n: 2, m: 4})
+	batch := model.NewBatch(2)
+	for i := 0; i < window; i++ { // grow the backing array once
+		rec.ExecuteStep(batch)
+	}
+	rec.Reset()
+	if avg := testing.AllocsPerRun(10, func() {
+		for i := 0; i < window; i++ {
+			rec.ExecuteStep(batch)
+		}
+		if len(rec.Steps()) != window {
+			t.Fatal("window not recorded")
+		}
+		if rec.Steps()[0].Index != 0 {
+			t.Fatal("indices did not restart after rotation")
+		}
+		rec.Reset()
+	}); avg != 0 {
+		t.Errorf("rotating a %d-step window allocates %.1f/window in steady state, want 0", window, avg)
+	}
+}
+
 func TestNameSuffix(t *testing.T) {
 	rec := Wrap(ideal.New(2, 4, model.CREW))
 	if !strings.HasSuffix(rec.Name(), "+trace") {
