@@ -35,6 +35,7 @@ import (
 	"repro/internal/mpc"
 	"repro/internal/quorum"
 	"repro/internal/replay"
+	"repro/internal/serve"
 
 	"repro/internal/memmap"
 )
@@ -366,6 +367,72 @@ func main() {
 		snap.Results = append(snap.Results, live, res)
 		fmt.Printf("E13 n=%d: replayed step %.2fx vs live step (%.1fms vs %.1fms); construction %v amortized per trace file\n",
 			c.n, live.NsPerOp/res.NsPerOp, res.NsPerOp/1e6, live.NsPerOp/1e6, construct.Round(time.Millisecond))
+	}
+
+	// E14: multi-tenant serving rounds (the internal/serve front end over
+	// the pool). One op is one serving round: admission, band-aware
+	// round-robin scheduling, generator fill, pool execution, accounting —
+	// min(T, K) tenant steps. E14ServeStep is the steady-state hot-path
+	// point the zero-alloc gate tracks; E14ServeThroughput sweeps the SAME
+	// 8-tenant closed-loop mix (8 × 128 simulated processors, band-local
+	// uniform traffic) over K ∈ {1,2,4,8} engines — per-tenant results are
+	// bit-for-bit identical at every K (serve differential tests), so the
+	// sweep isolates serving throughput exactly like E12 one layer down.
+	{
+		mkServe := func(tenants, procs, K int) *serve.Server {
+			cfg := serve.Config{Bands: tenants, Engines: K, Seed: 7}
+			for i := 0; i < tenants; i++ {
+				cfg.Tenants = append(cfg.Tenants, serve.TenantConfig{
+					Name: fmt.Sprintf("g%d", i), Band: i, Procs: procs,
+					Arrival: serve.Arrival{Window: 2},
+					Source:  serve.NewPatternSource(replay.Uniform, procs, 0, int64(100+i)),
+				})
+			}
+			s, err := serve.NewServer(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "E14 build:", err)
+				os.Exit(1)
+			}
+			return s
+		}
+		measureServe := func(name string, s *serve.Server, want int) Result {
+			for i := 0; i < 16; i++ { // warm the arenas (uniform draws vary batch shape)
+				s.Round()
+			}
+			return measureMin(name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if s.Round() != want {
+						b.Fatal("serving round under-scheduled")
+					}
+				}
+			})
+		}
+		{
+			s := mkServe(4, 64, 4)
+			snap.Results = append(snap.Results, measureServe("E14ServeStep/T=4/K=4", s, 4))
+			s.Close()
+		}
+		var speedup [2]float64
+		for _, K := range []int{1, 2, 4, 8} {
+			const tenants, procs = 8, 128
+			s := mkServe(tenants, procs, K)
+			want := tenants
+			if K < tenants {
+				want = K
+			}
+			res := measureServe(fmt.Sprintf("E14ServeThroughput/n=%d/K=%d", tenants*procs, K), s, want)
+			perStep := res.NsPerOp / float64(want)
+			if K == 1 {
+				speedup[0] = perStep
+			}
+			if K == 4 {
+				speedup[1] = perStep
+			}
+			snap.Results = append(snap.Results, res)
+			s.Close()
+		}
+		fmt.Printf("E14 serving speedup per tenant step, K=4 vs K=1: %.2fx\n", speedup[0]/speedup[1])
 	}
 
 	// Substrate micro-benchmarks: the two zero-alloc hot paths.

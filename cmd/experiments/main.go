@@ -6,6 +6,7 @@
 //	experiments            # run everything
 //	experiments e3 e5     # run selected experiments
 //	experiments -list     # list experiment ids and titles
+//	experiments -csv e14  # emit an experiment's table as CSV (sweeps)
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	markdown := flag.Bool("markdown", false, "emit markdown sections (EXPERIMENTS.md source format)")
+	csv := flag.Bool("csv", false, "emit each experiment's table as CSV (sweep output format)")
 	flag.Parse()
 
 	if *list {
@@ -43,6 +45,10 @@ func main() {
 		}
 		if *markdown {
 			fmt.Println(res.Markdown())
+			continue
+		}
+		if *csv {
+			fmt.Print(res.Table.CSV())
 			continue
 		}
 		fmt.Println(res.String())

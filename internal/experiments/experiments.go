@@ -66,10 +66,11 @@ var registry = map[string]Runner{
 	"e9":  E9PROM,
 	"e10": E10Ablations,
 	"e11": E11Slowdown,
+	"e14": E14ReplaySweep,
 }
 
 // order fixes the presentation sequence (numeric, not lexicographic).
-var order = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"}
+var order = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e14"}
 
 // IDs returns the registered experiment ids in numeric order.
 func IDs() []string {

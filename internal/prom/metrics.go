@@ -1,0 +1,137 @@
+// Metrics export. Besides modeling the paper's P-ROM (prom.go), this
+// package is the repository's metrics seam: a minimal, dependency-free
+// registry that renders counters and gauges in the Prometheus text
+// exposition format (version 0.0.4), so serving deployments
+// (repro/internal/serve, cmd/serve) can export per-tenant and per-shard
+// state to any standard scraper — or just dump it to a file — without
+// pulling a client library into the build.
+//
+// The design is snapshot-based: collectors are closures that EMIT samples
+// when the registry renders, reading whatever live counters they close
+// over at that moment. Nothing is recorded on the hot path — incrementing
+// a served-steps counter is an int64 add in the owner's own struct — so
+// registering metrics cannot disturb the zero-allocation serving
+// invariant. Rendering allocates freely; it runs off the hot path.
+package prom
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Sample is one exposition line: a metric name, an optional pre-rendered
+// label set (`tenant="a",shard="3"` — no braces), and a value.
+type Sample struct {
+	Name   string
+	Labels string
+	Value  float64
+}
+
+// Desc describes one metric family (name, help text, and type — "counter"
+// or "gauge").
+type Desc struct {
+	Name string
+	Help string
+	Type string
+}
+
+// Collector emits the current samples of the metric families it owns.
+// Collectors run on the rendering goroutine; implementations that read
+// counters mutated by another goroutine must do their own synchronization
+// (the serving front end renders only between rounds or after drain).
+type Collector interface {
+	Describe(desc func(Desc))
+	Collect(emit func(Sample))
+}
+
+// Registry renders registered collectors in the Prometheus text format.
+// The zero value is ready to use.
+type Registry struct {
+	mu         sync.Mutex
+	collectors []Collector
+}
+
+// Register adds a collector. Collectors render in registration order.
+func (r *Registry) Register(c Collector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, c)
+}
+
+// WriteTo renders every registered collector's families: one # HELP and
+// # TYPE line per family (in Describe order), then its samples sorted by
+// label string for a stable output.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	collectors := append([]Collector(nil), r.collectors...)
+	r.mu.Unlock()
+
+	var descs []Desc
+	byName := make(map[string][]Sample)
+	for _, c := range collectors {
+		c.Describe(func(d Desc) {
+			if _, dup := byName[d.Name]; !dup {
+				byName[d.Name] = nil
+				descs = append(descs, d)
+			}
+		})
+		c.Collect(func(s Sample) {
+			byName[s.Name] = append(byName[s.Name], s)
+		})
+	}
+	var sb strings.Builder
+	writeSamples := func(samples []Sample) {
+		sort.SliceStable(samples, func(i, j int) bool { return samples[i].Labels < samples[j].Labels })
+		for _, s := range samples {
+			if s.Labels == "" {
+				fmt.Fprintf(&sb, "%s %s\n", s.Name, formatValue(s.Value))
+			} else {
+				fmt.Fprintf(&sb, "%s{%s} %s\n", s.Name, s.Labels, formatValue(s.Value))
+			}
+		}
+	}
+	described := make(map[string]bool, len(descs))
+	for _, d := range descs {
+		described[d.Name] = true
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s %s\n", d.Name, d.Help, d.Name, d.Type)
+		writeSamples(byName[d.Name])
+	}
+	// Samples whose family was never described (a Collect/Describe drift)
+	// still render — as untyped families, sorted by name — rather than
+	// silently vanishing from the exposition.
+	var extras []string
+	for name := range byName {
+		if !described[name] && len(byName[name]) > 0 {
+			extras = append(extras, name)
+		}
+	}
+	sort.Strings(extras)
+	for _, name := range extras {
+		fmt.Fprintf(&sb, "# TYPE %s untyped\n", name)
+		writeSamples(byName[name])
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// formatValue renders a sample value: integers without an exponent (the
+// common case for step and queue counters), everything else via %g.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Label renders one key="value" label pair, escaping the value per the
+// exposition format (backslash, double quote, newline).
+func Label(key, value string) string {
+	esc := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(value)
+	return key + `="` + esc + `"`
+}
+
+// Labels joins rendered label pairs.
+func Labels(pairs ...string) string { return strings.Join(pairs, ",") }

@@ -80,6 +80,7 @@ type Pool struct {
 	compEnd    []int32
 	compShards []int32
 	lastComp   int
+	lastActive int
 
 	batches []model.Batch // current step's shard batches (set for the step)
 	dedup   []DedupStep   // current step's pre-deduplicated batches (replay)
@@ -222,6 +223,25 @@ func (p *Pool) Store() *Store { return p.store }
 // everything into one serial chain.
 func (p *Pool) LastComponents() int { return p.lastComp }
 
+// LastActive reports how many shards of the most recent ExecuteSteps /
+// ExecuteDedupSteps round carried any work (at least one non-idle request).
+// Idle shards are always singleton components, so a round with no forced
+// serial merges has LastComponents() == Engines(); the serving front end
+// uses K − LastComponents() as the round's forced-merge count and
+// LastActive() as its occupancy.
+func (p *Pool) LastActive() int { return p.lastActive }
+
+// Close retires the pool's background executor goroutines NOW instead of
+// waiting for the runtime cleanup at collection time — the graceful-
+// shutdown hook of a serving deployment. The pool stays usable: a later
+// ExecuteSteps restarts the workers lazily. Safe to call repeatedly.
+func (p *Pool) Close() {
+	if p.workers != nil {
+		p.workers.shutdown()
+		p.workers = nil
+	}
+}
+
 // SetWorkers reconfigures the executor goroutine count (same encoding as
 // PoolConfig.Workers). Must not be called concurrently with ExecuteSteps.
 // Execution stays bit-for-bit identical at every setting.
@@ -339,12 +359,18 @@ func (p *Pool) dispatch(ncomp int) {
 // merge deterministic.
 func (p *Pool) partition(batches []model.Batch) int {
 	p.partitionReset()
+	p.lastActive = 0
 	for k, b := range batches {
+		active := false
 		for i := range b {
 			if b[i].Op == model.OpNone {
 				continue
 			}
+			active = true
 			p.touchVar(int32(k), b[i].Addr)
+		}
+		if active {
+			p.lastActive++
 		}
 	}
 	return p.numberComponents()
@@ -355,7 +381,11 @@ func (p *Pool) partition(batches []model.Batch) int {
 // only collapses duplicates), so the component structure is identical.
 func (p *Pool) partitionDedup(steps []DedupStep) int {
 	p.partitionReset()
+	p.lastActive = 0
 	for k := range steps {
+		if len(steps[k].Reads) > 0 || len(steps[k].Writes) > 0 {
+			p.lastActive++
+		}
 		for i := range steps[k].Reads {
 			p.touchVar(int32(k), steps[k].Reads[i].Var)
 		}

@@ -107,6 +107,24 @@
 // and the pool's StepBarrier delimits rounds, so a recorder can serialize
 // concurrent shard streams in canonical ascending-lane order — the same
 // serial reference order the pool's determinism contract is stated in.
+//
+// # Serving lane
+//
+// The Pool is also the substrate of the multi-tenant serving front end
+// (repro/internal/serve, cmd/serve): tenants submit step batches through
+// bounded admission queues and a deterministic scheduler assigns each
+// tenant to a shard by its variable band (memmap.GenerateBanded), so
+// co-scheduled tenants touch disjoint module sets and every round runs on
+// the disjoint-component fast path above. Three pool affordances exist
+// for that layer: shard machines accept batches NARROWER than their
+// processor count (tenants of uneven sizes multiplex onto one pool — idle
+// lanes pass empty batches and stay singleton components; the
+// uneven-shard differential tests pin this against the serial reference),
+// LastActive/LastComponents expose the per-round occupancy and component
+// census (K − LastComponents() is the round's forced serial-merge count,
+// the serving layer's degradation signal), and Close retires the executor
+// goroutines eagerly for graceful shutdown — the pool stays usable and
+// restarts them lazily if stepped again.
 package quorum
 
 import (

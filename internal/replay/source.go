@@ -1,0 +1,142 @@
+package replay
+
+import (
+	"bytes"
+	"io"
+
+	"repro/internal/model"
+)
+
+// BatchSource turns one lane of a recorded PRAMTRC1 trace back into LIVE
+// model.Batch step batches — the serving front end's trace-as-traffic
+// adapter (repro/internal/serve). Where the Replayer feeds recorded
+// post-dedup request streams straight into the engines that recorded them
+// (bit-for-bit replay against the trace's own machine), a BatchSource
+// reconstructs the PRE-dedup batch of each step — every reader in a read's
+// fan-out list becomes its own OpRead request, every write an OpWrite —
+// so the stream can be submitted to a DIFFERENT machine through the normal
+// ExecuteStep front end. Re-deduplicating a reconstructed batch yields the
+// recorded dedup stream again (reader runs are exhaustive and ascending),
+// so feeding the reconstruction to an identical machine reproduces the
+// recorded costs and store image exactly (TestBatchSourceRoundTrip).
+//
+// Load and barrier frames are skipped: a traffic source replays access
+// SHAPE, not memory initialization, and round structure belongs to the
+// consuming scheduler. Addresses are the trace's own [0, Mem()) variable
+// ids; a consumer serving the stream into a smaller or banded variable
+// space remaps them (serve.Remap).
+//
+// NextBatch returns batches aliasing one reusable buffer and performs zero
+// steady-state heap allocations, like every other replay read path.
+type BatchSource struct {
+	data []byte
+	br   bytes.Reader
+	r    *Reader
+	lane int
+	loop bool
+
+	batch model.Batch // indexed by proc, len = Config().Procs
+	steps int64
+	done  bool
+	err   error
+}
+
+// NewBatchSource opens a trace held in memory as a batch stream for one
+// lane (single-lane traces use lane 0). When loop is true the source
+// rewinds at eof and streams the trace's steps again, indefinitely;
+// otherwise it is exhausted at eof.
+func NewBatchSource(data []byte, lane int, loop bool) (*BatchSource, error) {
+	s := &BatchSource{data: data, lane: lane, loop: loop}
+	s.br.Reset(data)
+	r, err := NewReader(&s.br)
+	if err != nil {
+		return nil, err
+	}
+	if lane < 0 || lane >= r.Config().Lanes {
+		return nil, corruptf("lane %d outside the trace's %d lanes", lane, r.Config().Lanes)
+	}
+	s.r = r
+	s.batch = model.NewBatch(r.Config().Procs)
+	return s, nil
+}
+
+// Config returns the trace's recorded machine configuration.
+func (s *BatchSource) Config() Config { return s.r.Config() }
+
+// Procs returns the per-lane processor count — the width of the batches
+// NextBatch yields.
+func (s *BatchSource) Procs() int { return s.r.Config().Procs }
+
+// Mem returns the trace's variable-space size: every address NextBatch
+// yields is in [0, Mem()).
+func (s *BatchSource) Mem() int { return s.r.mem }
+
+// Steps returns how many step batches have been yielded so far (across
+// loop passes).
+func (s *BatchSource) Steps() int64 { return s.steps }
+
+// Err reports the stream error that ended the source early (nil after a
+// clean eof).
+func (s *BatchSource) Err() error { return s.err }
+
+// NextBatch yields the next reconstructed step batch of the source's lane,
+// or false when the trace is exhausted (clean eof on a non-looping source)
+// or broken (Err() reports the cause). The batch aliases the source's
+// reusable buffer — including across a loop rewind — and callers may
+// mutate it freely before the next call.
+func (s *BatchSource) NextBatch() (model.Batch, bool) {
+	if s.done {
+		return nil, false
+	}
+	for {
+		f, err := s.r.Next()
+		if err != nil {
+			if err != io.EOF {
+				s.err = err
+			}
+			s.done = true
+			return nil, false
+		}
+		switch f.Kind {
+		case KindStep:
+			if f.Lane != s.lane {
+				continue
+			}
+			s.reconstruct(f)
+			s.steps++
+			return s.batch, true
+		case KindEOF:
+			if !s.loop {
+				s.done = true
+				return nil, false
+			}
+			s.br.Reset(s.data)
+			if err := s.r.Reset(&s.br); err != nil {
+				s.err = err
+				s.done = true
+				return nil, false
+			}
+		}
+		// Load and barrier frames, and other lanes' steps, are skipped.
+	}
+}
+
+// reconstruct expands one post-dedup step frame into the per-processor
+// batch: reader fan-out lists become one OpRead per reader, writes map
+// one-to-one, every other processor idles (OpNone).
+func (s *BatchSource) reconstruct(f *Frame) {
+	b := s.batch
+	for i := range b {
+		b[i] = model.Request{Proc: i, Op: model.OpNone}
+	}
+	for g := range f.Reads {
+		v := f.Reads[g].Var
+		for _, p := range f.ReaderProcs[f.ReaderOff[g]:f.ReaderOff[g+1]] {
+			b[p] = model.Request{Proc: int(p), Op: model.OpRead, Addr: v}
+		}
+	}
+	for i := range f.Writes {
+		w := &f.Writes[i]
+		b[w.Proc] = model.Request{Proc: w.Proc, Op: model.OpWrite, Addr: w.Var, Value: w.Value}
+	}
+}

@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/replay"
+)
+
+// TestServeRoundZeroAllocs locks the serving hot path's steady-state
+// zero-allocation invariant: admission, band-aware scheduling, generator
+// fill, the pool round and per-tenant accounting all run out of reusable
+// state.
+func TestServeRoundZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation invariants are measured without the race detector")
+	}
+	s, err := NewServer(Config{
+		Tenants: []TenantConfig{
+			{Name: "a", Band: 0, Procs: 32, Arrival: Arrival{Window: 2},
+				Source: NewPatternSource(replay.Uniform, 32, 0, 1)},
+			{Name: "b", Band: 1, Procs: 32, Arrival: Arrival{Window: 2},
+				Source: NewPatternSource(replay.Hotspot, 32, 0, 2)},
+			{Name: "c", Band: 2, Procs: 16, Arrival: Arrival{Window: 2},
+				Source: NewPatternSource(replay.Broadcast, 16, 0, 3)},
+		},
+		Bands:   3,
+		Engines: 3,
+		Workers: 0,
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 5; i++ { // grow every arena
+		s.Round()
+	}
+	if avg := testing.AllocsPerRun(50, func() {
+		if s.Round() != 3 {
+			t.Fatal("closed-loop round did not schedule every shard")
+		}
+	}); avg != 0 {
+		t.Errorf("Round allocates %.2f/op in steady state, want 0", avg)
+	}
+}
+
+// TestServeTraceRoundZeroAllocs extends the invariant to a trace-backed
+// tenant: frame decode, batch reconstruction and band remap are all
+// allocation-free in steady state.
+func TestServeTraceRoundZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation invariants are measured without the race detector")
+	}
+	rcfg := replay.Config{Kind: replay.KindDMMPC, Lanes: 1, Procs: 16, Mode: model.CRCWPriority}
+	built, err := rcfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rec, err := replay.NewRecorder(&buf, built)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := replay.NewGenerator(replay.Uniform, 1, 16, built.Params.Mem, 5)
+	for s := 0; s < 120; s++ {
+		if rep := built.Machine.ExecuteStep(gen.Step(s)[0]); rep.Err != nil {
+			t.Fatal(rep.Err)
+		}
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(Config{
+		Tenants: []TenantConfig{
+			{Name: "trace", Band: 0, Procs: 16, Arrival: Arrival{Window: 1},
+				Source: NewTraceSource(buf.Bytes(), 0, false)},
+		},
+		Bands:   1,
+		Engines: 1,
+		Seed:    9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		s.Round()
+	}
+	if avg := testing.AllocsPerRun(50, func() {
+		if s.Round() != 1 {
+			t.Fatal("trace tenant starved before its trace ended")
+		}
+	}); avg != 0 {
+		t.Errorf("trace-backed Round allocates %.2f/op in steady state, want 0", avg)
+	}
+}

@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"strconv"
+
+	"repro/internal/prom"
+)
+
+// collector renders the server's counters as Prometheus families. Label
+// strings are precomputed at registration so collection allocates only in
+// the registry's own rendering.
+type collector struct {
+	s            *Server
+	tenantLabels []string
+	shardLabels  []string
+}
+
+// Metrics registers the server's serving metrics with a prom.Registry.
+// Render only between rounds (or after Drain): the underlying counters are
+// mutated by the serving goroutine without synchronization.
+func (s *Server) Metrics(reg *prom.Registry) {
+	c := &collector{s: s}
+	for _, t := range s.tenants {
+		c.tenantLabels = append(c.tenantLabels, prom.Labels(
+			prom.Label("tenant", t.cfg.Name),
+			prom.Label("band", strconv.Itoa(t.cfg.Band)),
+			prom.Label("shard", strconv.Itoa(t.shard))))
+	}
+	for sh := 0; sh < s.k; sh++ {
+		c.shardLabels = append(c.shardLabels, prom.Label("shard", strconv.Itoa(sh)))
+	}
+	reg.Register(c)
+}
+
+// Describe implements prom.Collector.
+func (c *collector) Describe(desc func(prom.Desc)) {
+	for _, d := range []prom.Desc{
+		{Name: "pramsim_serve_rounds_total", Help: "virtual serving rounds elapsed", Type: "counter"},
+		{Name: "pramsim_serve_exec_rounds_total", Help: "rounds that executed at least one tenant step", Type: "counter"},
+		{Name: "pramsim_serve_idle_rounds_total", Help: "rounds with nothing to schedule", Type: "counter"},
+		{Name: "pramsim_serve_merged_rounds_total", Help: "executed rounds with at least one forced serial-component merge", Type: "counter"},
+		{Name: "pramsim_serve_forced_merges_total", Help: "forced serial-component merges (cross-band module contention)", Type: "counter"},
+		{Name: "pramsim_serve_band_overlap_tenants", Help: "tenants admitted onto a band another tenant already owns", Type: "gauge"},
+		{Name: "pramsim_serve_engines", Help: "engine (shard) count K", Type: "gauge"},
+		{Name: "pramsim_serve_tenant_steps_total", Help: "tenant steps executed", Type: "counter"},
+		{Name: "pramsim_serve_tenant_submitted_total", Help: "step credits offered by the tenant's arrival process", Type: "counter"},
+		{Name: "pramsim_serve_tenant_rejected_total", Help: "step credits rejected by the bounded admission queue", Type: "counter"},
+		{Name: "pramsim_serve_tenant_queue_depth", Help: "current admission-queue depth in step credits", Type: "gauge"},
+		{Name: "pramsim_serve_tenant_sim_time_total", Help: "summed simulated step time", Type: "counter"},
+		{Name: "pramsim_serve_tenant_phases_total", Help: "summed quorum protocol phases", Type: "counter"},
+		{Name: "pramsim_serve_shard_tenants", Help: "tenants placed on the shard", Type: "gauge"},
+	} {
+		desc(d)
+	}
+}
+
+// Collect implements prom.Collector.
+func (c *collector) Collect(emit func(prom.Sample)) {
+	s := c.s
+	st := s.Stats()
+	emit(prom.Sample{Name: "pramsim_serve_rounds_total", Value: float64(st.Rounds)})
+	emit(prom.Sample{Name: "pramsim_serve_exec_rounds_total", Value: float64(st.ExecRounds)})
+	emit(prom.Sample{Name: "pramsim_serve_idle_rounds_total", Value: float64(st.IdleRounds)})
+	emit(prom.Sample{Name: "pramsim_serve_merged_rounds_total", Value: float64(st.MergedRounds)})
+	emit(prom.Sample{Name: "pramsim_serve_forced_merges_total", Value: float64(st.ForcedMerges)})
+	emit(prom.Sample{Name: "pramsim_serve_band_overlap_tenants", Value: float64(st.BandOverlaps)})
+	emit(prom.Sample{Name: "pramsim_serve_engines", Value: float64(s.k)})
+	for i, t := range s.tenants {
+		l := c.tenantLabels[i]
+		emit(prom.Sample{Name: "pramsim_serve_tenant_steps_total", Labels: l, Value: float64(t.steps)})
+		emit(prom.Sample{Name: "pramsim_serve_tenant_submitted_total", Labels: l, Value: float64(t.submitted)})
+		emit(prom.Sample{Name: "pramsim_serve_tenant_rejected_total", Labels: l, Value: float64(t.rejected)})
+		emit(prom.Sample{Name: "pramsim_serve_tenant_queue_depth", Labels: l, Value: float64(t.credits)})
+		emit(prom.Sample{Name: "pramsim_serve_tenant_sim_time_total", Labels: l, Value: float64(t.simTime)})
+		emit(prom.Sample{Name: "pramsim_serve_tenant_phases_total", Labels: l, Value: float64(t.phases)})
+	}
+	for sh := 0; sh < s.k; sh++ {
+		emit(prom.Sample{Name: "pramsim_serve_shard_tenants", Labels: c.shardLabels[sh], Value: float64(len(s.byShard[sh]))})
+	}
+}

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/replay"
+)
+
+// TestServeBandOverlapCounted is the silent-degradation regression test:
+// admitting a second tenant onto an owned band must bump BandOverlaps and
+// fire the log hook — the pair then serializes behind one shard queue, and
+// that must never happen quietly.
+func TestServeBandOverlapCounted(t *testing.T) {
+	var logged []string
+	s, err := NewServer(Config{
+		Tenants: []TenantConfig{
+			{Name: "owner", Band: 0, Procs: 8, Arrival: Arrival{Window: 1},
+				Source: NewPatternSource(replay.Uniform, 8, 10, 1)},
+			{Name: "squatter", Band: 0, Procs: 8, Arrival: Arrival{Window: 1},
+				Source: NewPatternSource(replay.Uniform, 8, 10, 2)},
+		},
+		Bands:   2,
+		Engines: 2,
+		Seed:    5,
+		Logf:    func(f string, a ...any) { logged = append(logged, fmt.Sprintf(f, a...)) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.Stats().BandOverlaps; got != 1 {
+		t.Errorf("BandOverlaps = %d at admission, want 1", got)
+	}
+	found := false
+	for _, l := range logged {
+		if strings.Contains(l, "overlaps band 0") && strings.Contains(l, "squatter") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no overlap warning logged; got %q", logged)
+	}
+	// The overlapping pair still completes — serialized, not starved.
+	if err := s.ServeAll(500); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if st := s.TenantStats(i); st.Steps != 10 {
+			t.Errorf("tenant %s executed %d steps, want 10", st.Name, st.Steps)
+		}
+	}
+	// Co-location on one shard means the pair never co-schedules, so no
+	// forced merges — the degradation is queueing delay, visibly counted.
+	if st := s.Stats(); st.ForcedMerges != 0 {
+		t.Errorf("co-located overlap forced %d merges, want 0", st.ForcedMerges)
+	}
+}
+
+// TestServeForcedMergesCounted is the other half of the regression: a
+// tenant whose traffic crosses bands collides with co-scheduled tenants in
+// the pool's module partition, and every forced serial-component merge
+// must be counted (and warned about once) instead of silently serializing.
+func TestServeForcedMergesCounted(t *testing.T) {
+	var logged []string
+	s, err := NewServer(Config{
+		Tenants: []TenantConfig{
+			{Name: "local", Band: 0, Procs: 8, Arrival: Arrival{Window: 1},
+				Source: NewPatternSource(replay.Uniform, 8, 20, 1)},
+			{Name: "global", Band: 1, Procs: 8, Arrival: Arrival{Window: 1},
+				Source: NewGlobalPatternSource(replay.Uniform, 8, 20, 2)},
+		},
+		Bands:   2,
+		Engines: 2,
+		Seed:    5,
+		Logf:    func(f string, a ...any) { logged = append(logged, fmt.Sprintf(f, a...)) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.ServeAll(500); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.ForcedMerges == 0 || st.MergedRounds == 0 {
+		t.Fatalf("cross-band traffic not counted: %+v", st)
+	}
+	merged := 0
+	for _, l := range logged {
+		if strings.Contains(l, "serial-component merge") {
+			merged++
+		}
+	}
+	if merged != 1 {
+		t.Errorf("merge warning logged %d times, want exactly once; got %q", merged, logged)
+	}
+	if st.BandOverlaps != 0 {
+		t.Errorf("distinct bands flagged as overlapping: %+v", st)
+	}
+}

@@ -1,0 +1,636 @@
+// Package serve is the multi-tenant serving front end over quorum.Pool —
+// the "serving lane" the ROADMAP's scaling work built toward. It admits
+// workload submissions from per-tenant traffic sources (live synthetic
+// generators reusing the replay package's patterns, or recorded PRAMTRC1
+// traces via replay.BatchSource), queues them behind bounded per-tenant
+// admission queues with explicit backpressure, and schedules them onto a
+// pool of K concurrent quorum engines with BAND-AWARE placement: each
+// tenant owns one variable band of a memmap.GenerateBanded image and is
+// pinned to shard band%K, so tenants that are co-scheduled in a round
+// touch disjoint module bands by construction and hit the pool's
+// zero-locking disjoint-component fast path.
+//
+// # Determinism
+//
+// A serving run is a pure function of (map seed, tenant specs, arrival
+// script): there is no wall clock anywhere. Rounds advance a virtual
+// round counter; arrivals are arithmetic in that counter; the scheduler is
+// a deterministic round-robin per shard; and the pool's own contract makes
+// each round bit-for-bit independent of its worker count. The memory map
+// is banded by the TENANT count (not by K), and band-local tenants write
+// only their own rows, so per-tenant StepReports and the final store
+// fingerprint are ALSO invariant across the engine count K — a mix served
+// at K=8 is, per tenant, the same computation as at K=1, merely faster
+// (TestServeDeterministic locks this across K ∈ {1,2,4,8} and worker
+// counts). The one caveat is backpressure: rejection counts depend on how
+// fast queues drain, so open-loop mixes that overflow their queues are
+// deterministic per (K, script) but not across K.
+//
+// # Backpressure and degradation
+//
+// Admission queues are credit counters with a hard cap: an arrival beyond
+// the cap is REJECTED and counted (Rejected per tenant), never silently
+// dropped or blocked on. Placement degradation is equally loud: admitting
+// a tenant whose band another tenant already owns bumps BandOverlaps (the
+// two serialize behind one shard's queue instead of running in parallel),
+// and any round whose batches collide on a module — cross-band traffic —
+// counts its forced serial-component merges (ForcedMerges, from the
+// pool's component census). Both fire the optional Logf hook once, so a
+// deployment sees its fast path eroding instead of just slowing down.
+//
+// The per-round serving path — admission, scheduling, pool execution,
+// accounting — performs zero steady-state heap allocations
+// (TestServeRoundZeroAllocs), extending the repository's invariant one
+// layer further up the stack.
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/memmap"
+	"repro/internal/model"
+	"repro/internal/quorum"
+)
+
+// Band is one tenant's slice of the variable space: the half-open range
+// [Lo, Hi) of the server's Mem variables the tenant should address.
+// Factories for global (deliberately cross-band) traffic may ignore it.
+type Band struct {
+	Lo, Hi int
+	Mem    int
+}
+
+// Span returns the band's width.
+func (b Band) Span() int { return b.Hi - b.Lo }
+
+// Source yields one tenant's step batches in submission order.
+type Source interface {
+	// Procs returns the width of the batches NextBatch yields (the
+	// tenant's simulated P-RAM size).
+	Procs() int
+	// NextBatch returns the tenant's next step batch, or false when the
+	// source is exhausted. The batch may alias source-owned scratch and
+	// the server may mutate it in place before executing it.
+	NextBatch() (model.Batch, bool)
+	// Err reports the failure that ended the stream early, nil for a
+	// clean end.
+	Err() error
+}
+
+// SourceFactory binds a tenant's traffic source to its assigned band at
+// server construction time.
+type SourceFactory func(b Band) Source
+
+// Arrival is a deterministic arrival process in virtual round time.
+// Window > 0 selects CLOSED-LOOP operation: the tenant keeps Window step
+// credits outstanding (replenished every round, never rejected — the
+// W-users-resubmit-on-completion model). Window == 0 selects OPEN-LOOP
+// operation: every Period rounds a burst of Burst credits arrives,
+// regardless of completion, and credits beyond the queue cap are
+// rejected; On/Off > 0 additionally gate the process into on/off phases
+// of that many rounds (the bursty shape). The zero value defaults to
+// closed-loop with a window of 1.
+type Arrival struct {
+	Window int
+	Period int
+	Burst  int
+	On     int
+	Off    int
+}
+
+// arrivals returns how many credits arrive at virtual round r.
+func (a Arrival) arrivals(r int64, credits int) int {
+	if a.Window > 0 || (a.Period == 0 && a.Burst == 0) {
+		w := a.Window
+		if w == 0 {
+			w = 1
+		}
+		if credits >= w {
+			return 0
+		}
+		return w - credits
+	}
+	period := int64(a.Period)
+	if period < 1 {
+		period = 1
+	}
+	burst := a.Burst
+	if burst < 1 {
+		burst = 1
+	}
+	if cycle := int64(a.On + a.Off); a.On > 0 && cycle > 0 && r%cycle >= int64(a.On) {
+		return 0
+	}
+	if r%period != 0 {
+		return 0
+	}
+	return burst
+}
+
+// TenantConfig declares one tenant of a serving mix.
+type TenantConfig struct {
+	// Name labels the tenant in metrics and summaries.
+	Name string
+	// Band is the variable band this tenant owns, in [0, Config.Bands).
+	Band int
+	// Procs is the tenant's simulated P-RAM size (its batches' width).
+	Procs int
+	// Source builds the tenant's traffic stream.
+	Source SourceFactory
+	// Arrival is the tenant's submission process.
+	Arrival Arrival
+	// QueueCap overrides Config.QueueCap for this tenant when > 0.
+	QueueCap int
+}
+
+// Config assembles a serving deployment.
+type Config struct {
+	// Tenants is the workload mix. At least one.
+	Tenants []TenantConfig
+	// Bands is how many variable bands the map is cut into (0 → one per
+	// tenant). Must be ≥ every tenant's Band+1.
+	Bands int
+	// Engines is the pool's engine count K (0 consults PRAMSIM_ENGINES,
+	// < 0 GOMAXPROCS).
+	Engines int
+	// Workers bounds the pool's executor goroutines (quorum.PoolConfig).
+	Workers int
+	// Mode is the conflict convention. The zero value selects
+	// CRCW-Priority: a multi-tenant front end serves arbitrary concurrent
+	// traffic, and an exclusivity discipline would make every hotspot or
+	// broadcast step allocate a violation error on the hot path. Set an
+	// explicit stricter mode only for mixes known to respect it.
+	Mode model.Mode
+	// Seed draws the memory map (0 → 1).
+	Seed int64
+	// KExp and Eps are the Lemma 2 exponents (0 → 2 and 1).
+	KExp, Eps float64
+	// QueueCap is the default per-tenant admission-queue capacity in step
+	// credits (0 → 8).
+	QueueCap int
+	// Logf, when non-nil, receives one-shot degradation warnings (band
+	// overlap at admission, first forced merge, source failures). It is
+	// never called on the steady-state path.
+	Logf func(format string, args ...any)
+}
+
+// tenant is the server-side state of one admitted tenant.
+type tenant struct {
+	cfg   TenantConfig
+	id    int
+	shard int
+	band  Band
+	src   Source
+	cap   int
+
+	credits int
+	done    bool
+
+	// Accounting (exported via TenantStats).
+	submitted int64
+	rejected  int64
+	unserved  int64
+	steps     int64
+	maxQueue  int
+	simTime   int64
+	phases    int64
+	copies    int64
+	cycles    int64
+	maxCont   int
+	errSteps  int64
+	hash      uint64
+	srcErr    error
+}
+
+// Server multiplexes the tenant mix onto the engine pool. All methods must
+// be called from one goroutine; the pool spreads each round's work
+// internally.
+type Server struct {
+	pool   *quorum.Pool
+	store  *quorum.Store
+	params memmap.Params
+	bands  int
+	k      int
+	nMax   int
+
+	tenants []*tenant
+	byShard [][]int // tenant ids per shard, in admission order
+	cursor  []int   // per-shard round-robin position
+
+	batches    []model.Batch
+	execTenant []int32
+	empty      model.Batch
+
+	round    int64 // virtual admission clock (advances every Round)
+	draining bool
+
+	// Serving counters (exported via Stats).
+	execRounds   int64
+	idleRounds   int64
+	mergedRounds int64
+	forcedMerges int64
+	bandOverlaps int64
+
+	logf        func(string, ...any)
+	loggedMerge bool
+}
+
+// NewServer builds the deployment: a Lemma 2 parameter point at
+// maxProcs·Bands total processors, a map banded by the TENANT band count
+// (K-invariant, see the package doc), one store, and a K-engine bipartite
+// pool whose machines are sized to the largest tenant — tenants with
+// smaller Procs simply leave the upper processors idle, so lanes of
+// uneven sizes multiplex onto one pool. Infeasible parameter points
+// surface as errors, not panics.
+func NewServer(cfg Config) (s *Server, err error) {
+	if len(cfg.Tenants) == 0 {
+		return nil, fmt.Errorf("serve: no tenants")
+	}
+	bands := cfg.Bands
+	if bands == 0 {
+		bands = len(cfg.Tenants)
+	}
+	nMax := 0
+	for i := range cfg.Tenants {
+		t := &cfg.Tenants[i]
+		if t.Procs < 1 {
+			return nil, fmt.Errorf("serve: tenant %q: Procs=%d < 1", t.Name, t.Procs)
+		}
+		if t.Band < 0 || t.Band >= bands {
+			return nil, fmt.Errorf("serve: tenant %q: band %d outside [0,%d)", t.Name, t.Band, bands)
+		}
+		if t.Source == nil {
+			return nil, fmt.Errorf("serve: tenant %q: no source", t.Name)
+		}
+		if t.Procs > nMax {
+			nMax = t.Procs
+		}
+	}
+	mode := cfg.Mode
+	if mode == model.EREW {
+		mode = model.CRCWPriority
+	}
+	kExp, eps, seed := cfg.KExp, cfg.Eps, cfg.Seed
+	if kExp == 0 {
+		kExp = 2
+	}
+	if eps == 0 {
+		eps = 1
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	// The memmap generators and pool constructor panic on infeasible
+	// points (bands below the redundancy, oversized stores); a serving
+	// config must not crash the deployment. The recover is scoped to
+	// exactly those calls: a panic in a user SourceFactory (admitted
+	// below, outside this closure) stays a panic with its stack intact.
+	var p memmap.Params
+	var store *quorum.Store
+	var pool *quorum.Pool
+	k := quorum.ResolveEngines(cfg.Engines)
+	if err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("serve: infeasible deployment parameters: %v", r)
+			}
+		}()
+		p = memmap.LemmaTwo(nMax*bands, kExp, eps)
+		store = quorum.NewStore(memmap.GenerateBanded(p, seed, bands))
+		pool = quorum.NewPool("serve", store,
+			func(int) quorum.Interconnect { return quorum.NewCompleteBipartite() },
+			quorum.PoolConfig{Engines: k, Procs: nMax, Mode: mode, Workers: cfg.Workers})
+		return nil
+	}(); err != nil {
+		return nil, err
+	}
+
+	s = &Server{
+		pool:       pool,
+		store:      store,
+		params:     p,
+		bands:      bands,
+		k:          k,
+		nMax:       nMax,
+		byShard:    make([][]int, k),
+		cursor:     make([]int, k),
+		batches:    make([]model.Batch, k),
+		execTenant: make([]int32, k),
+		logf:       cfg.Logf,
+	}
+	qcap := cfg.QueueCap
+	if qcap == 0 {
+		qcap = 8
+	}
+	bandOwner := make(map[int]string, bands)
+	for i := range cfg.Tenants {
+		tc := cfg.Tenants[i]
+		if tc.Name == "" {
+			tc.Name = fmt.Sprintf("tenant%d", i)
+		}
+		lo, hi := memmap.BandRange(tc.Band, p.Mem, bands)
+		t := &tenant{
+			cfg:   tc,
+			id:    i,
+			shard: tc.Band % k,
+			band:  Band{Lo: lo, Hi: hi, Mem: p.Mem},
+			cap:   qcap,
+		}
+		if tc.QueueCap > 0 {
+			t.cap = tc.QueueCap
+		}
+		// A closed-loop window is itself a queue bound: the tenant never
+		// holds more than Window credits. Clipping the window at a smaller
+		// cap would reject replenishments every round — against the
+		// Arrival contract — so the effective cap accommodates it.
+		if tc.Arrival.Window > t.cap {
+			t.cap = tc.Arrival.Window
+		}
+		t.src = tc.Source(t.band)
+		if t.src.Procs() > tc.Procs {
+			return nil, fmt.Errorf("serve: tenant %q: source procs %d exceed declared %d",
+				tc.Name, t.src.Procs(), tc.Procs)
+		}
+		if owner, taken := bandOwner[tc.Band]; taken {
+			// The silent-degradation gap: two tenants on one band always
+			// serialize behind one shard queue. Count and warn — never
+			// just quietly halve their throughput.
+			s.bandOverlaps++
+			if s.logf != nil {
+				s.logf("serve: tenant %q overlaps band %d owned by %q: co-located on shard %d, steps will serialize",
+					tc.Name, tc.Band, owner, t.shard)
+			}
+		} else {
+			bandOwner[tc.Band] = tc.Name
+		}
+		s.tenants = append(s.tenants, t)
+		s.byShard[t.shard] = append(s.byShard[t.shard], i)
+	}
+	return s, nil
+}
+
+// Engines returns the pool's engine count K.
+func (s *Server) Engines() int { return s.k }
+
+// Bands returns the map's band count.
+func (s *Server) Bands() int { return s.bands }
+
+// Params returns the deployment's Lemma 2 parameter point.
+func (s *Server) Params() memmap.Params { return s.params }
+
+// Pool exposes the underlying engine pool (diagnostics and tests).
+func (s *Server) Pool() *quorum.Pool { return s.pool }
+
+// Fingerprint returns the current store fingerprint — the serving run's
+// committed-state digest.
+func (s *Server) Fingerprint() uint64 { return s.store.Fingerprint() }
+
+// Round executes one serving round — admission, band-aware scheduling (at
+// most one queued step per shard, round-robin over the shard's tenants),
+// one pool round, accounting — and returns how many tenant steps it
+// executed (0 for an idle round, which skips the pool entirely).
+func (s *Server) Round() int {
+	r := s.round
+	s.round++
+	if !s.draining {
+		for _, t := range s.tenants {
+			if t.done {
+				continue
+			}
+			n := t.cfg.Arrival.arrivals(r, t.credits)
+			if n == 0 {
+				continue
+			}
+			t.submitted += int64(n)
+			if room := t.cap - t.credits; n > room {
+				t.rejected += int64(n - room)
+				n = room
+			}
+			t.credits += n
+			if t.credits > t.maxQueue {
+				t.maxQueue = t.credits
+			}
+		}
+	}
+	scheduled := 0
+	for sh := 0; sh < s.k; sh++ {
+		s.batches[sh] = s.empty
+		s.execTenant[sh] = -1
+		ts := s.byShard[sh]
+		if len(ts) == 0 {
+			continue
+		}
+		start := s.cursor[sh]
+		for j := 0; j < len(ts); j++ {
+			t := s.tenants[ts[(start+j)%len(ts)]]
+			if t.done || t.credits == 0 {
+				continue
+			}
+			b, ok := t.src.NextBatch()
+			if !ok {
+				t.done = true
+				// Credits admitted beyond the source's end can never
+				// execute; count them so the accounting identity
+				// submitted == steps + queue + rejected + unserved holds.
+				t.unserved += int64(t.credits)
+				t.credits = 0
+				if err := t.src.Err(); err != nil {
+					t.srcErr = err
+					if s.logf != nil {
+						s.logf("serve: tenant %q source failed after %d steps: %v", t.cfg.Name, t.steps, err)
+					}
+				}
+				continue
+			}
+			t.credits--
+			s.batches[sh] = b
+			s.execTenant[sh] = int32(t.id)
+			s.cursor[sh] = (start + j + 1) % len(ts)
+			scheduled++
+			break
+		}
+	}
+	if scheduled == 0 {
+		s.idleRounds++
+		return 0
+	}
+	_, reports := s.pool.ExecuteSteps(s.batches)
+	s.execRounds++
+	if merges := s.k - s.pool.LastComponents(); merges > 0 {
+		s.forcedMerges += int64(merges)
+		s.mergedRounds++
+		if s.logf != nil && !s.loggedMerge {
+			s.loggedMerge = true
+			s.logf("serve: round %d forced %d serial-component merge(s): cross-band traffic is eroding the disjoint fast path (ForcedMerges counts every one)", r, merges)
+		}
+	}
+	for sh := range s.execTenant {
+		id := s.execTenant[sh]
+		if id < 0 {
+			continue
+		}
+		s.tenants[id].note(&reports[sh])
+	}
+	return scheduled
+}
+
+// note folds one executed step into the tenant's accounting, including the
+// order-sensitive report hash the determinism tests compare.
+func (t *tenant) note(rep *model.StepReport) {
+	t.steps++
+	t.simTime += rep.Time
+	t.phases += int64(rep.Phases)
+	t.copies += rep.CopyAccesses
+	t.cycles += rep.NetworkCycles
+	if rep.ModuleContention > t.maxCont {
+		t.maxCont = rep.ModuleContention
+	}
+	if rep.Err != nil {
+		t.errSteps++
+	}
+	h := t.hash
+	if h == 0 {
+		h = fnvOffset
+	}
+	h = fnvFold(h, uint64(rep.Time))
+	h = fnvFold(h, uint64(rep.Phases))
+	h = fnvFold(h, uint64(rep.CopyAccesses))
+	h = fnvFold(h, uint64(rep.NetworkCycles))
+	h = fnvFold(h, uint64(rep.ModuleContention))
+	n := t.cfg.Procs
+	if n > len(rep.Values) {
+		n = len(rep.Values)
+	}
+	for _, v := range rep.Values[:n] {
+		h = fnvFold(h, uint64(v))
+	}
+	t.hash = h
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// fnvFold hashes one 64-bit word into an FNV-1a accumulator bytewise.
+func fnvFold(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// Run executes exactly `rounds` serving rounds (idle rounds included).
+func (s *Server) Run(rounds int) {
+	for i := 0; i < rounds; i++ {
+		s.Round()
+	}
+}
+
+// Drain stops admission — open-loop arrivals are no longer accepted,
+// closed-loop windows stop replenishing — and keeps executing rounds until
+// every queued credit is consumed or its source exhausted. The graceful-
+// shutdown half of a serving deployment: every admitted credit either
+// executes or is counted (Unserved) when its source ends first.
+func (s *Server) Drain() {
+	s.draining = true
+	for {
+		live := false
+		for _, t := range s.tenants {
+			if !t.done && t.credits > 0 {
+				live = true
+				break
+			}
+		}
+		if !live {
+			return
+		}
+		s.Round()
+	}
+}
+
+// ServeAll runs rounds until every tenant's source is exhausted and every
+// queue drained, erroring out after maxRounds — the run-a-finite-mix-to-
+// completion entry point the determinism tests use.
+func (s *Server) ServeAll(maxRounds int) error {
+	for i := 0; i < maxRounds; i++ {
+		s.Round()
+		alldone := true
+		for _, t := range s.tenants {
+			if !t.done {
+				alldone = false
+				break
+			}
+		}
+		if alldone {
+			s.Drain()
+			return nil
+		}
+	}
+	return fmt.Errorf("serve: mix not finished after %d rounds", maxRounds)
+}
+
+// Close drains the server and retires the pool's executor goroutines.
+func (s *Server) Close() {
+	s.Drain()
+	s.pool.Close()
+}
+
+// TenantStats is one tenant's serving account.
+type TenantStats struct {
+	Name      string
+	Band      int
+	Shard     int
+	Procs     int
+	Done      bool
+	Submitted int64 // step credits offered by the arrival process
+	Rejected  int64 // credits refused by the bounded queue
+	Unserved  int64 // credits admitted but voided by source exhaustion
+	Steps     int64 // steps executed
+	Queue     int   // current queue depth (credits)
+	MaxQueue  int   // high-water queue depth
+	SimTime   int64 // summed simulated step time
+	Phases    int64
+	Copies    int64
+	Cycles    int64
+	MaxCont   int
+	ErrSteps  int64  // steps whose report carried a conflict-discipline error
+	Hash      uint64 // FNV-1a over the tenant's StepReport stream
+	SrcErr    error
+}
+
+// NumTenants returns the mix size.
+func (s *Server) NumTenants() int { return len(s.tenants) }
+
+// TenantStats returns tenant i's account.
+func (s *Server) TenantStats(i int) TenantStats {
+	t := s.tenants[i]
+	return TenantStats{
+		Name: t.cfg.Name, Band: t.cfg.Band, Shard: t.shard, Procs: t.cfg.Procs,
+		Done: t.done, Submitted: t.submitted, Rejected: t.rejected,
+		Unserved: t.unserved, Steps: t.steps,
+		Queue: t.credits, MaxQueue: t.maxQueue, SimTime: t.simTime, Phases: t.phases,
+		Copies: t.copies, Cycles: t.cycles, MaxCont: t.maxCont, ErrSteps: t.errSteps,
+		Hash: t.hash, SrcErr: t.srcErr,
+	}
+}
+
+// Stats is the server-wide serving account.
+type Stats struct {
+	Rounds       int64 // virtual rounds elapsed (admission clock)
+	ExecRounds   int64 // rounds that executed at least one step
+	IdleRounds   int64 // rounds with nothing to schedule
+	MergedRounds int64 // executed rounds with ≥ 1 forced serial merge
+	ForcedMerges int64 // total forced serial-component merges
+	BandOverlaps int64 // tenants admitted onto an already-owned band
+}
+
+// Stats returns the server-wide account.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Rounds: s.round, ExecRounds: s.execRounds, IdleRounds: s.idleRounds,
+		MergedRounds: s.mergedRounds, ForcedMerges: s.forcedMerges,
+		BandOverlaps: s.bandOverlaps,
+	}
+}

@@ -100,6 +100,34 @@ func (t *Table) Markdown() string {
 	return sb.String()
 }
 
+// CSV renders the table as RFC 4180 comma-separated values (header first)
+// — the machine-readable form replay-driven sweeps emit for downstream
+// plotting.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	writeRec := func(cells []string) {
+		for i := range t.header {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			sb.WriteString(c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRec(t.header)
+	for _, r := range t.rows {
+		writeRec(r)
+	}
+	return sb.String()
+}
+
 // Summary holds order statistics of a sample.
 type Summary struct {
 	N                int
