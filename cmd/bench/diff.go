@@ -63,6 +63,35 @@ func readSnapshot(path string) (Snapshot, error) {
 	return s, nil
 }
 
+// hostDrift reports how two snapshots' host shapes differ, or "" when the
+// timing hardware is comparable. GOMAXPROCS and calibration count only
+// when both snapshots recorded them — older lineage files predate the
+// fields, and uncalibrated wall clock cannot be compared to calibrated
+// wall clock at all (that is the one-time migration cost of introducing
+// the calibration anchor).
+func hostDrift(old, cur Snapshot) string {
+	if old.NumCPU != 0 && cur.NumCPU != 0 && old.NumCPU != cur.NumCPU {
+		return fmt.Sprintf("NumCPU %d -> %d", old.NumCPU, cur.NumCPU)
+	}
+	if old.GOMAXPROCS != 0 && cur.GOMAXPROCS != 0 && old.GOMAXPROCS != cur.GOMAXPROCS {
+		return fmt.Sprintf("GOMAXPROCS %d -> %d", old.GOMAXPROCS, cur.GOMAXPROCS)
+	}
+	if (old.Calibration > 0) != (cur.Calibration > 0) {
+		return "calibration present in only one snapshot"
+	}
+	return ""
+}
+
+// speedScale is the host-speed correction between two snapshots: how many
+// times slower (>1) or faster (<1) the newer host's scalar speed measured.
+// 1 when either snapshot predates the calibration field.
+func speedScale(old, cur Snapshot) float64 {
+	if old.Calibration > 0 && cur.Calibration > 0 {
+		return cur.Calibration / old.Calibration
+	}
+	return 1
+}
+
 // compareSnapshots diffs the ZERO-ALLOC benchmark set — the hot paths the
 // repo guarantees stay allocation-free — between two snapshots. A
 // benchmark regresses when its allocs/op leave zero or its ns/op grows by
@@ -70,7 +99,18 @@ func readSnapshot(path string) (Snapshot, error) {
 // snapshot are skipped: machines differ across snapshots, but a tracked
 // benchmark suddenly slower by >threshold on the SAME file lineage is the
 // signal ROADMAP lane 4 wants CI to catch.
-func compareSnapshots(old, cur Snapshot, threshold float64) (regressions []string, compared int) {
+//
+// Wall clock is only compared after correcting for the host: ns/op is
+// divided by speedScale (the calibration-loop ratio), so a container that
+// simply runs 40% slower today does not read as a 40% code regression.
+// When the host shape drifted between the snapshots (hostDrift) — core
+// count, GOMAXPROCS, or one side lacking the calibration anchor — ns/op
+// growth is returned as a warning instead of a regression: wall clock
+// measured on incomparable hosts is advisory. Alloc regressions stay hard
+// in every regime: allocs/op is host-independent.
+func compareSnapshots(old, cur Snapshot, threshold float64) (regressions, warnings []string, compared int) {
+	drift := hostDrift(old, cur)
+	scale := speedScale(old, cur)
 	oldByName := make(map[string]Result, len(old.Results))
 	for _, r := range old.Results {
 		oldByName[r.Name] = r
@@ -85,14 +125,25 @@ func compareSnapshots(old, cur Snapshot, threshold float64) (regressions []strin
 			regressions = append(regressions, fmt.Sprintf(
 				"%s: allocs/op regressed 0 -> %d", r.Name, r.AllocsPerOp))
 		}
-		if limit := prev.NsPerOp * (1 + threshold); r.NsPerOp > limit {
-			regressions = append(regressions, fmt.Sprintf(
-				"%s: ns/op regressed %.0f -> %.0f (+%.1f%%, limit +%.0f%%)",
+		adjusted := r.NsPerOp / scale
+		if limit := prev.NsPerOp * (1 + threshold); adjusted > limit {
+			msg := fmt.Sprintf(
+				"%s: ns/op regressed %.0f -> %.0f (+%.1f%%, limit +%.0f%%",
 				r.Name, prev.NsPerOp, r.NsPerOp,
-				100*(r.NsPerOp/prev.NsPerOp-1), 100*threshold))
+				100*(r.NsPerOp/prev.NsPerOp-1), 100*threshold)
+			if scale != 1 {
+				msg += fmt.Sprintf(", %.0f after %.2fx host-speed correction", adjusted, scale)
+			}
+			msg += ")"
+			if drift != "" {
+				warnings = append(warnings, fmt.Sprintf(
+					"%s — advisory only: host drifted (%s)", msg, drift))
+			} else {
+				regressions = append(regressions, msg)
+			}
 		}
 	}
-	return regressions, compared
+	return regressions, warnings, compared
 }
 
 // runDiff is the -diff mode entry point: compare the newest two snapshots
@@ -117,9 +168,19 @@ func runDiff(dir string, threshold float64) int {
 		fmt.Fprintln(os.Stderr, "diff:", err)
 		return 1
 	}
-	regressions, compared := compareSnapshots(oldSnap, newSnap, threshold)
+	regressions, warnings, compared := compareSnapshots(oldSnap, newSnap, threshold)
 	fmt.Printf("diff: %s -> %s: %d zero-alloc benchmarks compared\n",
 		filepath.Base(older), filepath.Base(newer), compared)
+	if drift := hostDrift(oldSnap, newSnap); drift != "" {
+		fmt.Printf("diff: host drifted (%s); ns/op comparisons are advisory\n", drift)
+	}
+	if scale := speedScale(oldSnap, newSnap); scale != 1 {
+		fmt.Printf("diff: host-speed correction %.2fx (calibration %.0f -> %.0f ns/op)\n",
+			scale, oldSnap.Calibration, newSnap.Calibration)
+	}
+	for _, w := range warnings {
+		fmt.Fprintln(os.Stderr, "WARNING:", w)
+	}
 	if len(regressions) == 0 {
 		fmt.Printf("diff: no regressions beyond %.0f%%\n", 100*threshold)
 		return 0

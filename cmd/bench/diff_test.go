@@ -40,9 +40,12 @@ func TestCompareSnapshots(t *testing.T) {
 		{Name: "E4MPCStep/n=256", NsPerOp: 5000, AllocsPerOp: 12},
 		{Name: "Brand/new", NsPerOp: 1, AllocsPerOp: 0}, // no baseline: ignored
 	}}
-	regs, compared := compareSnapshots(old, cur, 0.10)
+	regs, warns, compared := compareSnapshots(old, cur, 0.10)
 	if compared != 3 {
 		t.Errorf("compared %d zero-alloc benchmarks, want 3", compared)
+	}
+	if len(warns) != 0 {
+		t.Errorf("same-host comparison produced warnings: %v", warns)
 	}
 	if len(regs) != 2 {
 		t.Fatalf("got %d regressions, want 2: %v", len(regs), regs)
@@ -58,8 +61,100 @@ func TestCompareSnapshots(t *testing.T) {
 func TestCompareSnapshotsClean(t *testing.T) {
 	old := Snapshot{Results: []Result{{Name: "A", NsPerOp: 100, AllocsPerOp: 0}}}
 	cur := Snapshot{Results: []Result{{Name: "A", NsPerOp: 105, AllocsPerOp: 0}}}
-	if regs, _ := compareSnapshots(old, cur, 0.10); len(regs) != 0 {
+	if regs, _, _ := compareSnapshots(old, cur, 0.10); len(regs) != 0 {
 		t.Errorf("within-threshold drift flagged: %v", regs)
+	}
+}
+
+// TestCompareSnapshotsHostDrift: when the two snapshots were measured on
+// different host shapes, ns/op growth demotes to a warning — but an
+// allocation regression still fails, because allocs/op does not depend on
+// the machine.
+func TestCompareSnapshotsHostDrift(t *testing.T) {
+	old := Snapshot{NumCPU: 4, GOMAXPROCS: 4, Results: []Result{
+		{Name: "A", NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "B", NsPerOp: 100, AllocsPerOp: 0},
+	}}
+	cur := Snapshot{NumCPU: 1, GOMAXPROCS: 1, Results: []Result{
+		{Name: "A", NsPerOp: 300, AllocsPerOp: 0}, // slower host: advisory
+		{Name: "B", NsPerOp: 90, AllocsPerOp: 5},  // alloc leak: still hard
+	}}
+	regs, warns, compared := compareSnapshots(old, cur, 0.10)
+	if compared != 2 {
+		t.Errorf("compared = %d, want 2", compared)
+	}
+	if len(warns) != 1 || !strings.Contains(warns[0], "A") || !strings.Contains(warns[0], "host drifted") {
+		t.Errorf("ns/op growth under host drift should warn, got warnings %v", warns)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "B") || !strings.Contains(regs[0], "allocs/op") {
+		t.Errorf("alloc regression under host drift must stay hard, got regressions %v", regs)
+	}
+
+	// GOMAXPROCS-only drift (container pinned below its CPU count) also
+	// demotes; a missing (pre-field) GOMAXPROCS does not.
+	cur2 := Snapshot{NumCPU: 4, GOMAXPROCS: 1, Results: cur.Results}
+	if regs, warns, _ := compareSnapshots(old, cur2, 0.10); len(regs) != 1 || len(warns) != 1 {
+		t.Errorf("GOMAXPROCS drift: regs=%v warns=%v, want 1 hard + 1 advisory", regs, warns)
+	}
+	legacy := Snapshot{NumCPU: 4, Results: old.Results} // no gomaxprocs field
+	if d := hostDrift(legacy, Snapshot{NumCPU: 4, GOMAXPROCS: 8}); d != "" {
+		t.Errorf("missing legacy GOMAXPROCS treated as drift: %q", d)
+	}
+	if d := hostDrift(old, cur); !strings.Contains(d, "NumCPU") {
+		t.Errorf("hostDrift = %q, want a NumCPU description", d)
+	}
+}
+
+// TestCompareSnapshotsCalibration pins the host-speed correction: ns/op
+// comparisons divide by the calibration-loop ratio, so container weather
+// scales out while real code regressions still surface — in both
+// directions (a faster host tightens the gate). A snapshot predating the
+// calibration field compares advisorily against a calibrated one.
+func TestCompareSnapshotsCalibration(t *testing.T) {
+	old := Snapshot{NumCPU: 1, GOMAXPROCS: 1, Calibration: 100, Results: []Result{
+		{Name: "A", NsPerOp: 1000, AllocsPerOp: 0},
+		{Name: "B", NsPerOp: 1000, AllocsPerOp: 0},
+	}}
+	cur := Snapshot{NumCPU: 1, GOMAXPROCS: 1, Calibration: 200, Results: []Result{
+		{Name: "A", NsPerOp: 1900, AllocsPerOp: 0}, // 950 corrected: host weather
+		{Name: "B", NsPerOp: 2600, AllocsPerOp: 0}, // 1300 corrected: real regression
+	}}
+	regs, warns, compared := compareSnapshots(old, cur, 0.10)
+	if compared != 2 || len(warns) != 0 {
+		t.Errorf("compared=%d warns=%v, want 2 compared and no warnings", compared, warns)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "B") || !strings.Contains(regs[0], "host-speed correction") {
+		t.Errorf("want exactly B flagged with the correction shown, got %v", regs)
+	}
+
+	// A 2x FASTER host: unchanged raw ns/op means the code got slower.
+	fast := Snapshot{NumCPU: 1, GOMAXPROCS: 1, Calibration: 50, Results: []Result{
+		{Name: "A", NsPerOp: 1000, AllocsPerOp: 0},
+	}}
+	if regs, _, _ := compareSnapshots(old, fast, 0.10); len(regs) != 1 {
+		t.Errorf("flat raw ns/op on a 2x faster host should regress, got %v", regs)
+	}
+
+	// Uncalibrated ancestor: wall clock is not comparable, advisory only.
+	legacy := Snapshot{NumCPU: 1, Results: old.Results}
+	regs, warns, _ = compareSnapshots(legacy, cur, 0.10)
+	if len(regs) != 0 || len(warns) != 2 {
+		t.Errorf("uncalibrated baseline: regs=%v warns=%v, want all ns/op advisory", regs, warns)
+	}
+	if d := hostDrift(legacy, cur); !strings.Contains(d, "calibration") {
+		t.Errorf("hostDrift = %q, want the one-sided calibration reported", d)
+	}
+	if d := hostDrift(old, cur); d != "" {
+		t.Errorf("both calibrated, same shape: drift %q, want none", d)
+	}
+}
+
+// TestRunDiffHostDriftFixtures runs -diff over a fixture pair whose newer
+// snapshot was measured on a different host shape: its >10% ns/op
+// regression must not fail the gate (exit 0, warning only).
+func TestRunDiffHostDriftFixtures(t *testing.T) {
+	if code := runDiff(filepath.Join("testdata", "hostdrift"), 0.10); code != 0 {
+		t.Errorf("runDiff over host-drift fixtures = %d, want 0 (ns/op advisory)", code)
 	}
 }
 

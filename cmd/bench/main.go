@@ -15,6 +15,11 @@
 // Usage:
 //
 //	go run ./cmd/bench [-out DIR] [-benchtime 1s] [-parallel N] [-diff]
+//	                   [-cpuprofile FILE] [-memprofile FILE]
+//
+// -cpuprofile / -memprofile write pprof profiles of the whole run, for
+// drilling into a regression the snapshot lineage surfaced
+// (`go tool pprof FILE`).
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 	"time"
 
@@ -55,13 +61,26 @@ type Result struct {
 	SimCopyAccess int64 `json:"simCopyAccesses,omitempty"`
 }
 
-// Snapshot is the emitted file layout.
+// Snapshot is the emitted file layout. NumCPU and GOMAXPROCS describe the
+// host shape the numbers were measured on: -diff compares ns/op only
+// advisorily when the shape drifted between two snapshots (a 4-core
+// runner and a 1-core container measure parallel sweeps incomparably),
+// while allocation regressions stay hard failures — allocs/op is
+// host-independent.
 type Snapshot struct {
-	Date      string   `json:"date"`
-	GoVersion string   `json:"goVersion"`
-	GOARCH    string   `json:"goarch"`
-	NumCPU    int      `json:"numCPU"`
-	Results   []Result `json:"results"`
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"goVersion"`
+	GOARCH     string   `json:"goarch"`
+	NumCPU     int      `json:"numCPU"`
+	GOMAXPROCS int      `json:"gomaxprocs,omitempty"`
+	// Calibration is the minimum ns/op of a fixed pure-CPU reference loop
+	// (calibrate), measured alongside the benchmarks. Core counts don't
+	// capture how FAST a container is — the same image lands on hosts
+	// whose scalar speed differs by tens of percent — so -diff divides
+	// ns/op comparisons by the calibration ratio between two snapshots.
+	// Snapshots predating the field compare advisorily (see diff.go).
+	Calibration float64  `json:"calibrationNsPerOp,omitempty"`
+	Results     []Result `json:"results"`
 	// Baseline carries the pre-optimization (seed) numbers of the two
 	// acceptance benchmarks for easy speedup computation.
 	Baseline map[string]float64 `json:"baselineNsPerOp,omitempty"`
@@ -180,6 +199,29 @@ func measurePool(name string, dp *core.DMMPCPool, batches []model.Batch) Result 
 	return res
 }
 
+// calibrationSink keeps the calibration loop's result observable so the
+// compiler cannot delete the loop.
+var calibrationSink uint64
+
+// calibrate measures the host's scalar speed: a fixed 32768-round mix64
+// loop, pure ALU work with no memory traffic, repeated benchRuns times
+// with the minimum kept (same estimator as every other snapshot number).
+// The result anchors cross-snapshot ns/op comparisons to the machine the
+// numbers were taken on.
+func calibrate() float64 {
+	return measureMin("calibration", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			x := uint64(0x9E3779B97F4A7C15)
+			for j := 0; j < 1<<15; j++ {
+				x ^= x >> 33
+				x *= 0xFF51AFD7ED558CCD
+				x ^= x >> 29
+			}
+			calibrationSink = x
+		}
+	}).NsPerOp
+}
+
 // measureMicro runs a plain function benchmark.
 func measureMicro(name string, fn func()) Result {
 	fn() // warm the arenas
@@ -199,6 +241,8 @@ func main() {
 	threshold := flag.Float64("threshold", 0.10, "ns/op regression tolerance for -diff (0.10 = 10%)")
 	parallel := flag.Int("parallel", -1, "router workers for the parallel E5 comparison runs (-1 = GOMAXPROCS)")
 	runs := flag.Int("runs", benchRuns, "repeats per benchmark; the minimum is recorded")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole benchmark run to FILE")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile (post-GC) to FILE after the run")
 	flag.Parse()
 	if *runs > 0 {
 		benchRuns = *runs
@@ -210,14 +254,49 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchtime:", err)
 		os.Exit(1)
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Println("wrote CPU profile", *cpuprofile)
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				os.Exit(1)
+			}
+			runtime.GC() // report the retained heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Println("wrote heap profile", *memprofile)
+		}()
+	}
 
 	snap := Snapshot{
-		Date:      snapshotDate(time.Now()),
-		GoVersion: runtime.Version(),
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Baseline:  seedBaseline,
+		Date:        snapshotDate(time.Now()),
+		GoVersion:   runtime.Version(),
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Calibration: calibrate(),
+		Baseline:    seedBaseline,
 	}
+	fmt.Printf("host calibration: %.0f ns/op\n", snap.Calibration)
 
 	for _, n := range []int{64, 256, 1024} {
 		dm := core.NewDMMPC(n, core.Config{})
@@ -411,6 +490,27 @@ func main() {
 		{
 			s := mkServe(4, 64, 4)
 			snap.Results = append(snap.Results, measureServe("E14ServeStep/T=4/K=4", s, 4))
+			s.Close()
+		}
+		// The same steady-state point with per-shard 2DMOT meshes behind
+		// the pool (2 × 64 procs → a 512-side grid per engine): tracks the
+		// mesh-backed serving hot path's zero-alloc invariant in the
+		// snapshot lineage.
+		{
+			cfg := serve.Config{Bands: 2, Engines: 2, Seed: 7, Interconnect: serve.MOT2D}
+			for i := 0; i < 2; i++ {
+				cfg.Tenants = append(cfg.Tenants, serve.TenantConfig{
+					Name: fmt.Sprintf("g%d", i), Band: i, Procs: 64,
+					Arrival: serve.Arrival{Window: 2},
+					Source:  serve.NewPatternSource(replay.Uniform, 64, 0, int64(100+i)),
+				})
+			}
+			s, err := serve.NewServer(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "E14 mot2d build:", err)
+				os.Exit(1)
+			}
+			snap.Results = append(snap.Results, measureServe("E14ServeStepMOT2D/T=2/K=2", s, 2))
 			s.Close()
 		}
 		var speedup [2]float64

@@ -26,6 +26,14 @@
 // determinism gate CI's serve smoke runs under the race detector.
 // -metrics FILE writes the final Prometheus text exposition ("-" for
 // stdout).
+//
+// -interconnect selects the fabric behind every shard: bipartite (the
+// default complete processor↔module graph) or mot2d, which gives each
+// engine its own a×a 2D mesh-of-trees (Theorem 3) sized by -gran (grid
+// side = ceilPow2((n·bands)^((1+δ)/2))), with -dualrail enabling the
+// row+column bank split and -kexp overriding the memory exponent. Trace
+// tenants recorded on a different machine kind are refused at admission
+// unless -allow-kind-mismatch is set.
 package main
 
 import (
@@ -73,24 +81,32 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   serve run     -tenants SPEC [-n procs] [-engines K] [-workers W]
                 [-rounds N] [-queue CAP] [-arrival A] [-mode M]
+                [-interconnect bipartite|mot2d] [-kexp K] [-gran D]
+                [-dualrail] [-allow-kind-mismatch]
                 [-seed S] [-wseed S] [-check] [-metrics FILE] [-v]
   serve loadgen [-pattern P] [-tenants T] [-n procs] [-engines K]
                 [-rounds N] [-queue CAP] [-loop closed|open] [-window W]
                 [-period P] [-burst B] [-on N -off N] [-seed S] [-wseed S]
+                [-interconnect bipartite|mot2d] [-kexp K] [-gran D] [-dualrail]
 `)
 }
 
 // sharedFlags holds the knobs both verbs expose.
 type sharedFlags struct {
-	procs   int
-	engines int
-	workers int
-	rounds  int
-	queue   int
-	seed    int64
-	wseed   int64
-	mode    string
-	verbose bool
+	procs        int
+	engines      int
+	workers      int
+	rounds       int
+	queue        int
+	seed         int64
+	wseed        int64
+	mode         string
+	interconnect string
+	kexp         float64
+	gran         float64
+	dualRail     bool
+	allowKind    bool
+	verbose      bool
 }
 
 func addShared(fs *flag.FlagSet) *sharedFlags {
@@ -103,8 +119,27 @@ func addShared(fs *flag.FlagSet) *sharedFlags {
 	fs.Int64Var(&sf.seed, "seed", 1, "memory-map seed")
 	fs.Int64Var(&sf.wseed, "wseed", 99, "workload seed base (tenant i uses wseed+i)")
 	fs.StringVar(&sf.mode, "mode", "crcw", "conflict mode: crew, crcw, common, arbitrary")
+	fs.StringVar(&sf.interconnect, "interconnect", "", "shard fabric: bipartite (default) or mot2d (per-shard 2D mesh-of-trees)")
+	fs.Float64Var(&sf.kexp, "kexp", 0, "memory exponent: Lemma 2 k under bipartite, Theorem 3 under mot2d (0 = default)")
+	fs.Float64Var(&sf.gran, "gran", 0, "mot2d granularity exponent δ: grid side = ceilPow2(n^((1+δ)/2)) (0 = 1.5)")
+	fs.BoolVar(&sf.dualRail, "dualrail", false, "mot2d: dual-rail row+column banks (Theorem 3 closing remark)")
+	fs.BoolVar(&sf.allowKind, "allow-kind-mismatch", false, "replay traces recorded on a different machine kind than the pool's interconnect")
 	fs.BoolVar(&sf.verbose, "v", false, "log degradation warnings to stderr")
 	return sf
+}
+
+// applyShared folds the interconnect knobs into a serve.Config.
+func (sf *sharedFlags) applyShared(cfg *serve.Config) error {
+	ic, err := serve.ParseInterconnect(sf.interconnect)
+	if err != nil {
+		return err
+	}
+	cfg.Interconnect = ic
+	cfg.KExp = sf.kexp
+	cfg.Gran = sf.gran
+	cfg.DualRail = sf.dualRail
+	cfg.AllowTraceKindMismatch = sf.allowKind
+	return nil
 }
 
 // parseMode maps the CLI spelling. EREW is not offered: the serving front
@@ -300,6 +335,10 @@ func printSummary(o *outcome) {
 	ss := o.serverStats
 	fmt.Printf("rounds=%d exec=%d idle=%d steps=%d merged-rounds=%d forced-merges=%d band-overlaps=%d\n",
 		ss.Rounds, ss.ExecRounds, ss.IdleRounds, steps, ss.MergedRounds, ss.ForcedMerges, ss.BandOverlaps)
+	if o.server.Interconnect() == serve.MOT2D {
+		fmt.Printf("interconnect=%v side=%d (per-shard 2D mesh of trees)\n",
+			o.server.Interconnect(), o.server.Side())
+	}
 	if o.elapsed > 0 {
 		fmt.Printf("wall=%v (%.0f steps/sec)\n", o.elapsed.Round(time.Millisecond),
 			float64(steps)/o.elapsed.Seconds())
@@ -351,6 +390,9 @@ func cmdRun(args []string) error {
 		cfg := serve.Config{
 			Tenants: tcs, Engines: sf.engines, Workers: sf.workers,
 			Mode: mode, Seed: sf.seed, QueueCap: sf.queue,
+		}
+		if err := sf.applyShared(&cfg); err != nil {
+			return serve.Config{}, err
 		}
 		if sf.verbose {
 			cfg.Logf = log.New(os.Stderr, "serve: ", 0).Printf
@@ -440,6 +482,9 @@ func cmdLoadgen(args []string) error {
 	cfg := serve.Config{
 		Engines: sf.engines, Workers: sf.workers,
 		Mode: mode, Seed: sf.seed, QueueCap: sf.queue,
+	}
+	if err := sf.applyShared(&cfg); err != nil {
+		return err
 	}
 	if sf.verbose {
 		cfg.Logf = log.New(os.Stderr, "serve: ", 0).Printf

@@ -80,12 +80,15 @@ func TestQueuePolicyAlwaysGrantsAll(t *testing.T) {
 
 // FuzzRoutePhase is the differential harness as a fuzz target: a fuzzed
 // byte string drives topology choice and per-phase attempt streams through
-// a serial and a parallel network, which must stay bit-for-bit identical
-// (grants, cycles, loads, stats) on every input the fuzzer invents.
+// the retired AoS reference router (reference_test.go), a serial SoA
+// network and a parallel SoA network, which must stay bit-for-bit
+// identical (grants, cycles, loads, stats) on every input the fuzzer
+// invents. A capacity bump mid-stream exercises SetBandwidth on all three.
 func FuzzRoutePhase(f *testing.F) {
 	f.Add(int64(1), uint8(0), []byte{0x03, 0x41, 0x7f, 0x10, 0xee})
 	f.Add(int64(42), uint8(3), []byte{0xff, 0x00, 0xa5, 0x5a})
 	f.Add(int64(7), uint8(13), []byte{0x01})
+	f.Add(int64(19), uint8(21), []byte{0x80, 0x81, 0x82, 0x83, 0x84, 0x85, 0x86, 0x87})
 	f.Fuzz(func(t *testing.T, seed int64, shape uint8, stream []byte) {
 		side := 8 << (shape % 3) // 8..32
 		pl := ModulesAtLeaves
@@ -101,6 +104,7 @@ func FuzzRoutePhase(f *testing.F) {
 		serCfg, parCfg := cfg, cfg
 		serCfg.Parallelism = 1
 		parCfg.Parallelism = 2 + int(shape%3)
+		ref := newRefNetwork(side, pl, cfg)
 		ser := NewNetwork(side, pl, serCfg)
 		par := NewNetwork(side, pl, parCfg)
 		rng := rand.New(rand.NewSource(seed))
@@ -111,18 +115,27 @@ func FuzzRoutePhase(f *testing.F) {
 		// Each stream byte seeds one attempt; phase boundaries every
 		// `side` attempts keep phases non-trivial.
 		var attempts []quorum.Attempt
+		phases := 0
 		flush := func() {
 			if len(attempts) == 0 {
 				return
 			}
+			if phases == 2 {
+				ref.SetBandwidth(2)
+				ser.SetBandwidth(2)
+				par.SetBandwidth(2)
+			}
+			phases++
+			gr, cr, lr := ref.RoutePhase(attempts)
 			gs, cs, ls := ser.RoutePhase(attempts)
 			gp, cp, lp := par.RoutePhase(attempts)
-			if cs != cp || ls != lp {
-				t.Fatalf("serial (cycles=%d load=%d) != parallel (cycles=%d load=%d)", cs, ls, cp, lp)
+			if cr != cs || lr != ls || cs != cp || ls != lp {
+				t.Fatalf("reference (cycles=%d load=%d) != serial (%d/%d) != parallel (%d/%d)",
+					cr, lr, cs, ls, cp, lp)
 			}
 			for i := range gs {
-				if gs[i] != gp[i] {
-					t.Fatalf("grant[%d]: serial=%v parallel=%v", i, gs[i], gp[i])
+				if gr[i] != gs[i] || gs[i] != gp[i] {
+					t.Fatalf("grant[%d]: reference=%v serial=%v parallel=%v", i, gr[i], gs[i], gp[i])
 				}
 			}
 			attempts = attempts[:0]
@@ -140,8 +153,9 @@ func FuzzRoutePhase(f *testing.F) {
 			}
 		}
 		flush()
-		if ser.Stats() != par.Stats() {
-			t.Fatalf("stats diverged:\n serial   %+v\n parallel %+v", ser.Stats(), par.Stats())
+		if ref.Stats() != ser.Stats() || ser.Stats() != par.Stats() {
+			t.Fatalf("stats diverged:\n reference %+v\n serial    %+v\n parallel  %+v",
+				ref.Stats(), ser.Stats(), par.Stats())
 		}
 	})
 }

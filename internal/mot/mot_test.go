@@ -1,6 +1,7 @@
 package mot
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/quorum"
@@ -27,6 +28,28 @@ func TestTopologyPanicsOnNonPow2(t *testing.T) {
 		}
 	}()
 	NewTopology(12, ModulesAtLeaves)
+}
+
+// TestTopologyDenseEdgeCeiling pins the int32 dense-edge boundary: MaxSide
+// is the largest side whose 8a²−8a directed edges fit int32, and the next
+// power of two must be refused loudly instead of wrapping dense indices.
+func TestTopologyDenseEdgeCeiling(t *testing.T) {
+	topo := NewTopology(MaxSide, ModulesAtLeaves)
+	space := int64(4*topo.Side) * int64(2*topo.Side-2)
+	if space != int64(topo.DenseEdgeSpace()) || space > 1<<31-1 {
+		t.Fatalf("side %d: dense edge space %d (DenseEdgeSpace %d) must fit int32", MaxSide, space, topo.DenseEdgeSpace())
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("NewTopology(%d) did not panic", 2*MaxSide)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "dense-edge ceiling") || !strings.Contains(msg, "16384") {
+			t.Fatalf("ceiling panic message %q does not name the ceiling and the max side", r)
+		}
+	}()
+	NewTopology(2*MaxSide, ModulesAtLeaves)
 }
 
 func TestRequestPathLengths(t *testing.T) {

@@ -66,11 +66,14 @@ type Stats struct {
 // as dense edge indices (Topology.denseEdgeID) into a shared per-phase
 // arena; per-cycle edge contention is a claim-set stamped with the global
 // cycle counter (which never resets, so the set never needs clearing), and
-// module service/load counters live in small phase-interned tables. Packets
-// are pooled by value, and each cycle iterates a compacted active-packet
-// list instead of rescanning done packets. The invariant is locked in by
+// module service/load counters live in small phase-interned tables. Packet
+// state is STRUCTURE-OF-ARRAYS — four parallel int32 lanes (cursor, end,
+// service point, module), see the package doc's "SoA layout & claim
+// resolution" section — and each cycle walks a compacted active-packet list
+// of indices into those lanes. The invariant is locked in by
 // TestRoutePhaseZeroAllocs; behavior is locked to the reference
-// implementation by the golden-trace tests.
+// implementation by the golden-trace tests and the AoS reference router in
+// reference_test.go.
 //
 // With Config.Parallelism > 1 a phase's packets are partitioned into
 // tree-connectivity components and advanced concurrently on a bounded
@@ -105,8 +108,20 @@ type Network struct {
 	modServed    []int64 // per phase-local module: cycle stamp of service count
 	modServedCnt []int32 // per phase-local module: services this cycle
 
-	// Packet pool and per-phase buffers.
-	pkts    []packet
+	// SoA packet state: four parallel dense int32 lanes indexed by packet
+	// id (== attempt index). The cycle loop touches only these 4-byte
+	// lanes plus the shared path arena, so its working set is cache-linear
+	// in the compacted active order (ascending packet ids).
+	pktCur []int32 // absolute index of the next edge in pathBuf
+	pktEnd []int32 // absolute end-of-path offset (grant on reaching it)
+	pktSrv []int32 // absolute module-service offset; −1 once served
+	pktMod []int32 // phase-local module id for service accounting
+	// pktPrio is the processor priority, consulted only on the cold sort
+	// path (engine schedules arrive pre-sorted) — kept out of the hot
+	// lanes above.
+	pktPrio []int32
+
+	// Per-phase buffers.
 	active  []int32 // live packet indices in priority order, compacted per cycle
 	order   []int32 // processing order when attempts arrive unsorted
 	pathBuf []int32 // all packet paths, dense edge indices
@@ -114,8 +129,8 @@ type Network struct {
 	// pktTrees stores, per packet, the union-find node ids of the up-to-
 	// three trees its path traverses (3 entries each, −1 when unused).
 	// Together with the module node they define the packet's connectivity
-	// component — the unit of parallel advancement. Kept out of packet so
-	// the cycle loop's working set stays at 32 bytes per packet.
+	// component — the unit of parallel advancement. Kept out of the hot
+	// lanes so the cycle loop's working set stays minimal.
 	pktTrees []int32
 
 	// Tree-connectivity partition scratch (parallel router only).
@@ -142,10 +157,7 @@ func NewNetwork(side int, pl Placement, cfg Config) *Network {
 	if pl == ModulesAtLeaves && cfg.RowOf == nil {
 		cfg.RowOf = func(v, cp int) int { return int(mix64(uint64(v)*31+uint64(cp))) & (side - 1) }
 	}
-	topo := NewTopology(side, pl)
-	if int64(topo.DenseEdgeSpace()) > int64(1)<<31-1 {
-		panic("mot: grid side too large for 32-bit dense edge indices")
-	}
+	topo := NewTopology(side, pl) // panics if side breaches the int32 dense-edge ceiling
 	nw := &Network{topo: topo, cfg: cfg, shards: make([]shard, 1)}
 	nw.SetParallelism(cfg.Parallelism)
 	return nw
@@ -174,22 +186,6 @@ func (nw *Network) Stats() Stats { return nw.stats }
 // Parallelism returns the resolved worker count (1 = serial).
 func (nw *Network) Parallelism() int { return nw.par }
 
-// packet is one in-flight copy access. Paths live in the network's shared
-// path arena; packets are pooled by value and never escape to the heap.
-// The struct is kept at 32 bytes — two per cache line — because the cycle
-// loop is memory-bound on it; cold per-packet data (the partition's tree
-// nodes) lives in the parallel pktTrees array instead.
-type packet struct {
-	attempt int32 // index into the phase's attempt slice
-	prio    int32 // processor id: lower wins collisions
-	pathOff int32 // offset of this packet's path in the arena
-	pathLen int32
-	pos     int32 // next edge index within the path
-	service int32 // path index at which the module serves the packet
-	module  int32 // phase-local module id for service accounting
-	served  bool
-}
-
 // ensureTables sizes the claim-set, intern tables and per-phase buffers for
 // a phase of k attempts, growing (and only growing) the reusable arenas.
 func (nw *Network) ensureTables(k int) {
@@ -214,6 +210,13 @@ func (nw *Network) ensureTables(k int) {
 	nw.modLoad = nw.modLoad[:k]
 	nw.modServed = nw.modServed[:k]
 	nw.modServedCnt = nw.modServedCnt[:k]
+
+	nw.pktCur = growSlice(nw.pktCur, k)
+	nw.pktEnd = growSlice(nw.pktEnd, k)
+	nw.pktSrv = growSlice(nw.pktSrv, k)
+	nw.pktMod = growSlice(nw.pktMod, k)
+	nw.pktPrio = growSlice(nw.pktPrio, k)
+	nw.pktTrees = growSlice(nw.pktTrees, 3*k)
 }
 
 // internModule maps a grid module id to a compact phase-local id.
@@ -235,6 +238,17 @@ func (nw *Network) internModule(key int32) int32 {
 	}
 }
 
+// b2i converts a claim/drop outcome into a branch-free increment: the
+// compiler lowers it to SETcc, so the cycle loop's per-packet bookkeeping
+// (cursor advance, active-list retention, counter bumps) is conditional
+// moves instead of unpredictable branches.
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // RoutePhase implements quorum.Interconnect. Each attempt becomes a packet
 // injected at its processor's root on cycle one of the phase; the phase
 // lasts until every packet has either returned (granted) or collided
@@ -254,14 +268,11 @@ func (nw *Network) RoutePhase(attempts []quorum.Attempt) ([]bool, int64, int) {
 	nw.ensureTables(len(attempts))
 	nw.modCount = 0
 
-	if cap(nw.pkts) < len(attempts) {
-		nw.pkts = make([]packet, len(attempts))
-	}
-	pkts := nw.pkts[:len(attempts)]
-	nw.pkts = pkts
-	nw.pktTrees = growSlice(nw.pktTrees, 3*len(attempts))
+	pktCur, pktEnd, pktSrv := nw.pktCur, nw.pktEnd, nw.pktSrv
+	pktMod, pktPrio := nw.pktMod, nw.pktPrio
 	pktTrees := nw.pktTrees
 	pathBuf := nw.pathBuf[:0]
+	svc := int32(nw.topo.servicePos())
 	sorted := true
 	for i, a := range attempts {
 		var row, col int
@@ -306,15 +317,12 @@ func (nw *Network) RoutePhase(attempts []quorum.Attempt) ([]bool, int64, int) {
 		} else {
 			pathBuf = nw.topo.appendRequestPathDense(pathBuf, a.Proc, row, col)
 		}
-		pkts[i] = packet{
-			attempt: int32(i),
-			prio:    int32(a.Proc),
-			pathOff: off,
-			pathLen: int32(len(pathBuf)) - off,
-			service: int32(nw.topo.servicePos()),
-			module:  lm,
-		}
-		if i > 0 && pkts[i-1].prio > pkts[i].prio {
+		pktCur[i] = off
+		pktEnd[i] = int32(len(pathBuf))
+		pktSrv[i] = off + svc
+		pktMod[i] = lm
+		pktPrio[i] = int32(a.Proc)
+		if i > 0 && pktPrio[i-1] > pktPrio[i] {
 			sorted = false
 		}
 	}
@@ -330,17 +338,17 @@ func (nw *Network) RoutePhase(attempts []quorum.Attempt) ([]bool, int64, int) {
 	// state this is the injection order and no sort happens.
 	active := nw.active[:0]
 	if sorted {
-		for i := range pkts {
+		for i := range attempts {
 			active = append(active, int32(i))
 		}
 	} else {
 		order := nw.order[:0]
-		for i := range pkts {
+		for i := range attempts {
 			order = append(order, int32(i))
 		}
 		slices.SortFunc(order, func(x, y int32) int {
-			if pkts[x].prio != pkts[y].prio {
-				return cmp.Compare(pkts[x].prio, pkts[y].prio)
+			if pktPrio[x] != pktPrio[y] {
+				return cmp.Compare(pktPrio[x], pktPrio[y])
 			}
 			return cmp.Compare(x, y)
 		})
@@ -354,32 +362,76 @@ func (nw *Network) RoutePhase(attempts []quorum.Attempt) ([]bool, int64, int) {
 		return granted, nw.routeParallel(active, start), maxLoad
 	}
 
+	// Singleton fast path. The tree-partition invariant (package doc) says
+	// a packet alone in its tree-connectivity component can never lose an
+	// edge claim (no other packet touches its trees) nor queue at its
+	// module (no other packet addresses it), so its cycle-by-cycle future
+	// is closed-form: it advances one edge per cycle, spends one cycle
+	// being served, and returns granted after pathLen+1 cycles having
+	// contributed pathLen hops, one service, zero collisions and zero
+	// backlog. At production sizes most packets are singletons (k packets
+	// scatter over side ≫ k banks), so resolving them analytically leaves
+	// the cycle loop only the contended components. Bit-for-bit identical
+	// to routing them: the golden traces, the AoS reference differential
+	// tests and FuzzRoutePhase pin it.
+	var fastElapsed int64
+	if len(active) > 0 {
+		nw.partition(active)
+		compOf, compCnt := nw.compOf, nw.compCnt
+		w := 0
+		var hops, served int64
+		for j, pi := range active {
+			if compCnt[compOf[j]] == 1 {
+				pathLen := int64(pktEnd[pi] - pktCur[pi])
+				granted[pi] = true
+				hops += pathLen
+				served++
+				if pathLen+1 > fastElapsed {
+					fastElapsed = pathLen + 1
+				}
+				continue
+			}
+			active[w] = pi
+			w++
+		}
+		active = active[:w]
+		nw.stats.Hops += hops
+		nw.stats.Served += served
+	}
+
 	// Serial reference cycle loop. advance() is its component-scoped twin
 	// for the parallel router: the two bodies MUST stay textually parallel
 	// (the golden traces, the differential tests and FuzzRoutePhase pin
 	// them bit-for-bit). The loop lives inline here rather than calling
-	// advance() because extracting it costs ~15% on the small-phase
-	// E5/Luccio benchmarks (worse code layout for the single-component
-	// case); the parallel path amortizes the call per component instead.
+	// advance() because the serial path folds straight into nw.stats —
+	// no per-cycle backlog recording, no shard merge.
 	slots, mask := nw.shards[0].slots, nw.shards[0].mask
+	modServed, modServedCnt := nw.modServed, nw.modServedCnt
+	capacity := nw.cfg.ModuleCapacity
+	drop := nw.cfg.Policy == DropOnCollision
+	var hops, collisions, served int64
+	maxQueue := nw.stats.MaxQueue
+	clock := start
 	for len(active) > 0 {
-		nw.clock++
-		cycle := nw.clock
+		clock++
+		cycle := clock
 		queued := 0
 		w := 0
 		for _, pi := range active {
-			pk := &pkts[pi]
-			// Module service point.
-			if pk.pos == pk.service && !pk.served {
-				lm := pk.module
-				if nw.modServed[lm] != cycle {
-					nw.modServed[lm] = cycle
-					nw.modServedCnt[lm] = 0
+			cur := pktCur[pi]
+			srv := pktSrv[pi]
+			// Module service point (taken once per packet per phase, plus
+			// while queued at the leaf — the only branch in the loop).
+			if cur == srv {
+				lm := pktMod[pi]
+				if modServed[lm] != cycle {
+					modServed[lm] = cycle
+					modServedCnt[lm] = 0
 				}
-				if int(nw.modServedCnt[lm]) < nw.cfg.ModuleCapacity {
-					nw.modServedCnt[lm]++
-					pk.served = true
-					nw.stats.Served++
+				if int(modServedCnt[lm]) < capacity {
+					modServedCnt[lm]++
+					pktSrv[pi] = -1
+					served++
 				} else {
 					queued++ // wait at the module leaf (stage-2 queue)
 				}
@@ -387,34 +439,52 @@ func (nw *Network) RoutePhase(attempts []quorum.Attempt) ([]bool, int64, int) {
 				w++
 				continue
 			}
-			// Edge traversal.
-			e := pathBuf[pk.pathOff+pk.pos]
-			if !claimEdge(slots, mask, e, cycle) {
-				// Collision: someone higher-priority took this edge now.
-				if nw.cfg.Policy == DropOnCollision && !pk.served {
-					nw.stats.Collisions++
-					continue // refused: drop from the active list
-				}
-				// Replies (and Queue policy) wait for the next cycle.
-				active[w] = pi
-				w++
-				continue
+			// Edge traversal: claim-set probe, then branch-free selects.
+			// The first probe covers >75% of claims (the table is sized to
+			// 4 slots per live packet); only a same-cycle slot holding a
+			// DIFFERENT edge keeps probing. A same-cycle slot holding THIS
+			// edge is a collision, and re-storing (cycle, key) into it is
+			// idempotent — so both fast outcomes share one unconditional
+			// store and the claim verdict is a flag, not a branch.
+			e := pathBuf[cur]
+			h := int((uint64(uint32(e))*0x9E3779B97F4A7C15)>>40) & mask
+			s := &slots[h]
+			ok := s.cycle != cycle
+			if !ok && s.key != e {
+				ok = claimEdgeProbe(slots, mask, e, cycle, h)
+			} else {
+				s.cycle = cycle
+				s.key = e
 			}
-			nw.stats.Hops++
-			pk.pos++
-			if pk.pos == pk.pathLen {
-				granted[pk.attempt] = true
-				continue // returned: drop from the active list
-			}
+			// Branch-free resolution: advance the cursor by the claim
+			// verdict, mark a grant when the path is exhausted, refuse an
+			// unserved loser under the drop policy, and keep the packet on
+			// the compacted active list unless it finished either way.
+			adv := b2i(ok)
+			cur += adv
+			pktCur[pi] = cur
+			hops += int64(adv)
+			done := cur == pktEnd[pi]
+			granted[pi] = done
+			refused := drop && !ok && srv >= 0
+			collisions += int64(b2i(refused))
 			active[w] = pi
-			w++
+			w += int(b2i(!(done || refused)))
 		}
 		active = active[:w]
-		if queued > nw.stats.MaxQueue {
-			nw.stats.MaxQueue = queued
+		if queued > maxQueue {
+			maxQueue = queued
 		}
 	}
-	elapsed := nw.clock - start
+	nw.stats.Hops += hops
+	nw.stats.Collisions += collisions
+	nw.stats.Served += served
+	nw.stats.MaxQueue = maxQueue
+	elapsed := clock - start
+	if fastElapsed > elapsed {
+		elapsed = fastElapsed
+	}
+	nw.clock = start + elapsed
 	nw.stats.Cycles += elapsed
 	return granted, elapsed, maxLoad
 }
@@ -432,7 +502,7 @@ func (nw *Network) advance(sh *shard, act []int32, start int64) {
 	// Hoist every hot field into locals: the cycle loop must not juggle
 	// two indirection roots (nw and sh), or register spills eat the gains
 	// the arena design bought.
-	pkts := nw.pkts
+	pktCur, pktEnd, pktSrv, pktMod := nw.pktCur, nw.pktEnd, nw.pktSrv, nw.pktMod
 	pathBuf := nw.pathBuf
 	granted := nw.granted
 	modServed := nw.modServed
@@ -445,20 +515,22 @@ func (nw *Network) advance(sh *shard, act []int32, start int64) {
 	clock := start
 	for len(act) > 0 {
 		clock++
+		cycle := clock
 		queued := int32(0)
 		w := 0
 		for _, pi := range act {
-			pk := &pkts[pi]
+			cur := pktCur[pi]
+			srv := pktSrv[pi]
 			// Module service point.
-			if pk.pos == pk.service && !pk.served {
-				lm := pk.module
-				if modServed[lm] != clock {
-					modServed[lm] = clock
+			if cur == srv {
+				lm := pktMod[pi]
+				if modServed[lm] != cycle {
+					modServed[lm] = cycle
 					modServedCnt[lm] = 0
 				}
 				if int(modServedCnt[lm]) < capacity {
 					modServedCnt[lm]++
-					pk.served = true
+					pktSrv[pi] = -1
 					served++
 				} else {
 					queued++ // wait at the module leaf (stage-2 queue)
@@ -467,27 +539,28 @@ func (nw *Network) advance(sh *shard, act []int32, start int64) {
 				w++
 				continue
 			}
-			// Edge traversal.
-			e := pathBuf[pk.pathOff+pk.pos]
-			if !claimEdge(slots, mask, e, clock) {
-				// Collision: someone higher-priority took this edge now.
-				if drop && !pk.served {
-					collisions++
-					continue // refused: drop from the active list
-				}
-				// Replies (and Queue policy) wait for the next cycle.
-				act[w] = pi
-				w++
-				continue
+			// Edge traversal: claim-set probe, then branch-free selects
+			// (see the serial loop for the probe/idempotent-store design).
+			e := pathBuf[cur]
+			h := int((uint64(uint32(e))*0x9E3779B97F4A7C15)>>40) & mask
+			s := &slots[h]
+			ok := s.cycle != cycle
+			if !ok && s.key != e {
+				ok = claimEdgeProbe(slots, mask, e, cycle, h)
+			} else {
+				s.cycle = cycle
+				s.key = e
 			}
-			hops++
-			pk.pos++
-			if pk.pos == pk.pathLen {
-				granted[pk.attempt] = true
-				continue // returned: drop from the active list
-			}
+			adv := b2i(ok)
+			cur += adv
+			pktCur[pi] = cur
+			hops += int64(adv)
+			done := cur == pktEnd[pi]
+			granted[pi] = done
+			refused := drop && !ok && srv >= 0
+			collisions += int64(b2i(refused))
 			act[w] = pi
-			w++
+			w += int(b2i(!(done || refused)))
 		}
 		act = act[:w]
 		// Record this cycle's module backlog at its offset within the

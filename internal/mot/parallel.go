@@ -9,8 +9,8 @@
 // whole synchronous cycle loop concurrently and independently — no
 // barriers inside the phase. The union-find runs over the 2a tree nodes
 // plus the phase's interned module nodes; each packet contributes the ≤ 3
-// trees its path traverses (stashed in packet.tree0..2 during setup) plus
-// its module node.
+// trees its path traverses (stashed in the pktTrees side-table during
+// setup) plus its module node.
 //
 // Merging is deterministic by construction: grants and packet state are
 // written to disjoint indices, counter sums are exact integer additions,
@@ -85,14 +85,19 @@ func (sh *shard) begin() {
 	sh.hops, sh.collisions, sh.served, sh.elapsed = 0, 0, 0, 0
 }
 
-// claimEdge records that a packet crosses the given edge this cycle.
-// It reports false if a (higher-priority) packet already claimed the edge
-// this cycle. Slots stamped with an older cycle count as free, so the set
-// clears itself as the clock advances. Free function over a hoisted
-// (slots, mask) pair so the advance loop keeps the table in registers.
-func claimEdge(slots []edgeSlot, mask int, key int32, cycle int64) bool {
-	h := int((uint64(uint32(key))*0x9E3779B97F4A7C15)>>40) & mask
+// claimEdgeProbe is the cold continuation of an edge claim whose home slot
+// h held a same-cycle claim for a DIFFERENT edge: keep open-addressing from
+// h+1 until a free (older-cycle) slot is claimed or this edge's existing
+// claim is found. The hot first probe — including the idempotent-store
+// trick that makes its outcome branch-free — is inlined at both call sites
+// in the cycle loops (network.go); the table is sized to 4 slots per live
+// packet, so this continuation runs on well under a quarter of claims.
+// Slots stamped with an older cycle count as free, so the set clears
+// itself as the clock advances. Free function over a hoisted (slots, mask)
+// pair so the loops keep the table in registers.
+func claimEdgeProbe(slots []edgeSlot, mask int, key int32, cycle int64, h int) bool {
 	for {
+		h = (h + 1) & mask
 		s := &slots[h]
 		if s.cycle != cycle {
 			s.cycle = cycle
@@ -102,7 +107,6 @@ func claimEdge(slots []edgeSlot, mask int, key int32, cycle int64) bool {
 		if s.key == key {
 			return false
 		}
-		h = (h + 1) & mask
 	}
 }
 
@@ -138,7 +142,10 @@ func (p *motPool) work(shardIdx int) {
 }
 
 // runShard advances components on the given shard until the phase's
-// component cursor is exhausted.
+// component cursor is exhausted. Singleton components are resolved
+// analytically — the same closed form as the serial router's fast path
+// (pathLen+1 cycles, pathLen hops, one service, no collisions, no
+// backlog) — so only contended components pay for the cycle loop.
 func (p *motPool) runShard(shardIdx int) {
 	nw := p.nw
 	sh := &nw.shards[shardIdx]
@@ -151,6 +158,17 @@ func (p *motPool) runShard(shardIdx int) {
 		beg := int32(0)
 		if c > 0 {
 			beg = nw.compEnd[c-1]
+		}
+		if end-beg == 1 {
+			pi := nw.compPkts[beg]
+			pathLen := int64(nw.pktEnd[pi] - nw.pktCur[pi])
+			nw.granted[pi] = true
+			sh.hops += pathLen
+			sh.served++
+			if pathLen+1 > sh.elapsed {
+				sh.elapsed = pathLen + 1
+			}
+			continue
 		}
 		nw.advance(sh, nw.compPkts[beg:end], p.base)
 	}
@@ -247,12 +265,16 @@ func (p *motPool) shutdown() {
 	p.stopOnce.Do(func() { close(p.stop) })
 }
 
-// routeParallel advances one phase's packets concurrently: partition the
-// active list (already in priority order) into tree-connectivity
-// components, dispatch the components to the worker pool, and merge the
-// shard accumulators. Falls back to the serial loop when everything is one
-// component.
-func (nw *Network) routeParallel(active []int32, start int64) int64 {
+// partition groups the active list (already in priority order) into
+// tree-connectivity components and returns their count: a union-find pass
+// over the 2·side tree nodes plus the phase's interned module nodes,
+// followed by a numbering pass that labels components in order of first
+// appearance (priority order) and counts packets per component. On return
+// compOf[j] is the component id of active[j] and compCnt[id] its packet
+// count. Both routers call this: the serial one to peel off singleton
+// components analytically, the parallel one to additionally dispatch the
+// contended components to the worker pool.
+func (nw *Network) partition(active []int32) int {
 	side := nw.topo.Side
 	// --- Union-find over 2·side tree nodes + modCount module nodes. ---
 	nodes := 2*side + int(nw.modCount)
@@ -268,7 +290,7 @@ func (nw *Network) routeParallel(active []int32, start int64) int64 {
 		if t2 >= 0 {
 			r = nw.ufUnion(r, nw.ufFind(t2))
 		}
-		nw.ufUnion(r, nw.ufFind(modBase+nw.pkts[pi].module))
+		nw.ufUnion(r, nw.ufFind(modBase+nw.pktMod[pi]))
 	}
 	// --- Number components in order of first appearance (priority order),
 	// counting packets per component. The root's size field is repurposed
@@ -289,7 +311,17 @@ func (nw *Network) routeParallel(active []int32, start int64) int64 {
 		compOf = append(compOf, id)
 	}
 	nw.compCnt, nw.compOf = compCnt, compOf
-	ncomp := len(compCnt)
+	return len(compCnt)
+}
+
+// routeParallel advances one phase's packets concurrently: partition the
+// active list into tree-connectivity components, dispatch the components
+// to the worker pool, and merge the shard accumulators. Falls back to the
+// serial loop when everything is one component; workers resolve singleton
+// components analytically (see runShard) just like the serial router.
+func (nw *Network) routeParallel(active []int32, start int64) int64 {
+	ncomp := nw.partition(active)
+	compCnt, compOf := nw.compCnt, nw.compOf
 	if ncomp == 1 {
 		sh := &nw.shards[0]
 		sh.begin()
@@ -311,6 +343,8 @@ func (nw *Network) routeParallel(active []int32, start int64) int64 {
 		nw.compPkts[compCnt[id]] = pi
 		compCnt[id]++
 	}
+	// compCnt now holds each component's END offset (== compEnd), a side
+	// effect runShard's singleton test relies on: size = end − begin.
 	// --- Dispatch: caller is worker 0, background workers 1..par−1. Every
 	// shard is reset (tokens are anonymous, so ANY worker may win one and
 	// merge reads them all), but only enough workers for the component

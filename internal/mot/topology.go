@@ -17,13 +17,49 @@
 // # Zero-allocation invariant
 //
 // Network.RoutePhase performs zero heap allocations in steady state:
-// packets are pooled by value, paths are dense edge indices (see
-// denseEdgeID) written into a reusable arena, edge contention is a
-// cycle-stamped claim-set that never needs clearing (the global cycle
-// counter never repeats), module counters are phase-interned, and each
-// cycle walks a compacted active-packet list. testing.AllocsPerRun tests
-// lock the invariant; golden-trace tests pin grants, cycle counts and
-// Stats bit-for-bit to the pre-arena reference implementation.
+// packet state lives in reusable structure-of-arrays lanes (see below),
+// paths are dense edge indices (see denseEdgeID) written into a reusable
+// arena, edge contention is a cycle-stamped claim-set that never needs
+// clearing (the global cycle counter never repeats), module counters are
+// phase-interned, and each cycle walks a compacted active-packet list.
+// testing.AllocsPerRun tests lock the invariant; golden-trace tests pin
+// grants, cycle counts and Stats bit-for-bit to the pre-arena reference
+// implementation.
+//
+// # SoA layout & claim resolution
+//
+// Packet state is STRUCTURE-OF-ARRAYS: instead of a []packet
+// array-of-structs, the router keeps four parallel dense int32 lanes
+// indexed by packet id (== attempt index) —
+//
+//	pktCur  absolute index of the packet's next edge in the path arena
+//	pktEnd  absolute end-of-path offset (reaching it is the grant)
+//	pktSrv  absolute module-service offset, −1 once served (the flag and
+//	        the position share a lane: a packet is "not yet served" iff
+//	        pktSrv ≥ 0, and "at its service point" iff pktCur == pktSrv)
+//	pktMod  phase-local module id for service accounting
+//
+// plus cold side-tables (pktPrio for the sort path, pktTrees for the
+// parallel partition) that the cycle loop never touches. The compacted
+// active list holds indices into these lanes in ascending order, so a
+// cycle's sweep reads each lane sequentially — cache-linear, 16 hot bytes
+// per packet instead of a 32-byte struct.
+//
+// Edge-claim resolution is branch-free on the hot path. The claim-set is
+// open-addressed and cycle-stamped; the first probe exploits an
+// idempotent-store trick: a slot stamped with an older cycle is free
+// (claim it — store cycle and key), and a same-cycle slot holding the
+// SAME key is a collision for which re-storing (cycle, key) is a no-op —
+// so both outcomes share one unconditional store and the verdict
+// `ok = slot.cycle != cycle` is a flag, not a branch. Only a same-cycle
+// slot holding a different key (< 25% of claims at the table's 4-slots-
+// per-packet sizing) falls into the claimEdgeProbe continuation. The
+// verdict then drives the whole per-packet update as conditional moves:
+// the cursor advances by b2i(ok), the grant flag is the pure predicate
+// `cur == pktEnd`, a drop-policy refusal is the predicate
+// `!ok && unserved`, and the survivor is compacted onto the active list
+// by bumping the write cursor with b2i(keep). The only branch left in
+// the loop body is the once-per-packet module-service point.
 //
 // # Tree-partition invariant (multi-core routing)
 //
@@ -173,10 +209,24 @@ type Topology struct {
 	Placement Placement
 }
 
-// NewTopology validates and returns an a×a 2DMOT shape.
+// MaxSide is the largest supported grid side: the router keys its
+// claim-sets and path arenas by int32 dense edge indices, so the dense
+// directed-edge space 4a·(2a−2) = 8a²−8a must fit int32. Side 16384 yields
+// 2,147,352,576 < 2³¹−1 edges; the next power of two overflows.
+const MaxSide = 16384
+
+// NewTopology validates and returns an a×a 2DMOT shape. It panics when
+// side is not a power of two or breaches the int32 dense-edge ceiling
+// (side > MaxSide) — the router's claim-sets and path arenas are keyed by
+// int32 dense edge indices, and a silent wraparound would corrupt routing.
 func NewTopology(side int, pl Placement) Topology {
 	if !xmath.IsPow2(side) {
 		panic(fmt.Sprintf("mot: side %d must be a power of two", side))
+	}
+	if side > MaxSide {
+		panic(fmt.Sprintf(
+			"mot: side %d exceeds the int32 dense-edge ceiling: 4a(2a-2) = %d directed edges > max %d; the largest supported side is %d",
+			side, int64(4*side)*int64(2*side-2), int64(1)<<31-1, MaxSide))
 	}
 	return Topology{Side: side, Depth: xmath.ILog2(side), Placement: pl}
 }

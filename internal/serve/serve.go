@@ -49,8 +49,49 @@ import (
 
 	"repro/internal/memmap"
 	"repro/internal/model"
+	"repro/internal/mot"
 	"repro/internal/quorum"
+	"repro/internal/replay"
 )
+
+// Interconnect selects the fabric each pool shard routes its protocol
+// phases over.
+type Interconnect uint8
+
+const (
+	// Bipartite is the DMMPC's complete bipartite processor–module graph
+	// (quorum.NewCompleteBipartite): contention-free routing, phase cost 1.
+	// The default, and the only fabric the serving lane had before the
+	// per-shard mesh option.
+	Bipartite Interconnect = iota
+	// MOT2D gives every shard its OWN √M × √M two-dimensional mesh of
+	// trees with modules at the leaves (the paper's Theorem 3 machine,
+	// core.NewMOT2DPool's deployment): phase costs become real routed
+	// cycle counts, and the SoA router core carries the serving lane. The
+	// Lemma 2 (KExp, Eps) point is replaced by a Theorem 3 (KExp, Gran)
+	// point sized at nMax·Bands total processors.
+	MOT2D
+)
+
+// String implements fmt.Stringer.
+func (ic Interconnect) String() string {
+	if ic == MOT2D {
+		return "mot2d"
+	}
+	return "bipartite"
+}
+
+// ParseInterconnect maps the CLI spellings to an Interconnect kind.
+func ParseInterconnect(s string) (Interconnect, error) {
+	switch s {
+	case "", "bipartite", "dmmpc", "complete":
+		return Bipartite, nil
+	case "mot2d", "mot", "mesh":
+		return MOT2D, nil
+	default:
+		return Bipartite, fmt.Errorf("serve: unknown interconnect %q (want bipartite or mot2d)", s)
+	}
+}
 
 // Band is one tenant's slice of the variable space: the half-open range
 // [Lo, Hi) of the server's Mem variables the tenant should address.
@@ -163,8 +204,25 @@ type Config struct {
 	Mode model.Mode
 	// Seed draws the memory map (0 → 1).
 	Seed int64
-	// KExp and Eps are the Lemma 2 exponents (0 → 2 and 1).
+	// Interconnect selects each shard's fabric: Bipartite (default) or
+	// MOT2D per-shard meshes.
+	Interconnect Interconnect
+	// KExp and Eps are the Lemma 2 exponents (0 → 2 and 1). Under MOT2D,
+	// KExp is the Theorem 3 memory exponent instead (0 → 1.5) and Eps is
+	// unused.
 	KExp, Eps float64
+	// Gran is the Theorem 3 granularity exponent δ for MOT2D meshes
+	// (0 → 1.5): the grid side is ceilPow2((nMax·Bands)^((1+δ)/2)), so
+	// bigger mixes need a smaller δ to stay inside mot.MaxSide.
+	Gran float64
+	// DualRail enables the row+column dual-rail banks on MOT2D meshes
+	// (Theorem 3's closing remark; halves the redundancy).
+	DualRail bool
+	// AllowTraceKindMismatch admits trace sources whose recorded header
+	// names a different machine kind than the pool's interconnect (the
+	// addresses still remap fine; the recorded cycle counts just came from
+	// a different fabric). Off by default: a mismatch is an error.
+	AllowTraceKindMismatch bool
 	// QueueCap is the default per-tenant admission-queue capacity in step
 	// credits (0 → 8).
 	QueueCap int
@@ -209,6 +267,8 @@ type Server struct {
 	pool   *quorum.Pool
 	store  *quorum.Store
 	params memmap.Params
+	ic     Interconnect
+	side   int // MOT2D grid side (0 under Bipartite)
 	bands  int
 	k      int
 	nMax   int
@@ -273,19 +333,30 @@ func NewServer(cfg Config) (s *Server, err error) {
 	kExp, eps, seed := cfg.KExp, cfg.Eps, cfg.Seed
 	if kExp == 0 {
 		kExp = 2
+		if cfg.Interconnect == MOT2D {
+			// Meshes pay side = (nTotal·m-granularity)^((1+δ)/2) in silicon;
+			// the Theorem 3 experiments run m = n^1.5 at production sizes.
+			kExp = 1.5
+		}
 	}
 	if eps == 0 {
 		eps = 1
+	}
+	gran := cfg.Gran
+	if gran == 0 {
+		gran = 1.5
 	}
 	if seed == 0 {
 		seed = 1
 	}
 	// The memmap generators and pool constructor panic on infeasible
-	// points (bands below the redundancy, oversized stores); a serving
-	// config must not crash the deployment. The recover is scoped to
-	// exactly those calls: a panic in a user SourceFactory (admitted
-	// below, outside this closure) stays a panic with its stack intact.
+	// points (bands below the redundancy, oversized stores, meshes past
+	// the dense-edge ceiling); a serving config must not crash the
+	// deployment. The recover is scoped to exactly those calls: a panic in
+	// a user SourceFactory (admitted below, outside this closure) stays a
+	// panic with its stack intact.
 	var p memmap.Params
+	var side int
 	var store *quorum.Store
 	var pool *quorum.Pool
 	k := quorum.ResolveEngines(cfg.Engines)
@@ -295,6 +366,27 @@ func NewServer(cfg Config) (s *Server, err error) {
 				err = fmt.Errorf("serve: infeasible deployment parameters: %v", r)
 			}
 		}()
+		if cfg.Interconnect == MOT2D {
+			// Theorem 3 point at the TOTAL processor count, one mesh per
+			// shard — core.NewMOT2DPool's wiring, banded by the TENANT
+			// count so per-tenant results stay K-invariant.
+			if cfg.DualRail {
+				p, side = memmap.TheoremThreeDual(nMax*bands, kExp, gran)
+			} else {
+				p, side = memmap.TheoremThree(nMax*bands, kExp, gran)
+			}
+			if nMax > side {
+				return fmt.Errorf("largest tenant procs %d exceed grid side %d (raise Gran)", nMax, side)
+			}
+			store = quorum.NewStore(memmap.GenerateBanded(p, seed, bands))
+			pool = quorum.NewPool("serve", store,
+				func(int) quorum.Interconnect {
+					return mot.NewNetwork(side, mot.ModulesAtLeaves,
+						mot.Config{DualRail: cfg.DualRail})
+				},
+				quorum.PoolConfig{Engines: k, Procs: nMax, Mode: mode, Workers: cfg.Workers})
+			return nil
+		}
 		p = memmap.LemmaTwo(nMax*bands, kExp, eps)
 		store = quorum.NewStore(memmap.GenerateBanded(p, seed, bands))
 		pool = quorum.NewPool("serve", store,
@@ -309,6 +401,8 @@ func NewServer(cfg Config) (s *Server, err error) {
 		pool:       pool,
 		store:      store,
 		params:     p,
+		ic:         cfg.Interconnect,
+		side:       side,
 		bands:      bands,
 		k:          k,
 		nMax:       nMax,
@@ -351,6 +445,28 @@ func NewServer(cfg Config) (s *Server, err error) {
 			return nil, fmt.Errorf("serve: tenant %q: source procs %d exceed declared %d",
 				tc.Name, t.src.Procs(), tc.Procs)
 		}
+		if rc, ok := TraceHeader(t.src); ok {
+			// Header-validate recorded traces against the pool's fabric: a
+			// PRAMTRC1 stream names the machine kind it was captured on, and
+			// replaying e.g. a bipartite capture into mesh shards silently
+			// changes what the recorded stream meant. Addresses remap fine
+			// either way, so a config flag can override.
+			want := replay.KindDMMPC
+			if cfg.Interconnect == MOT2D {
+				want = replay.KindMOT2D
+			}
+			if rc.Kind != want {
+				if !cfg.AllowTraceKindMismatch {
+					return nil, fmt.Errorf(
+						"serve: tenant %q: trace was recorded on a %v machine but the pool serves %v interconnects; set AllowTraceKindMismatch (cmd/serve -allow-kind-mismatch) to replay it anyway",
+						tc.Name, rc.Kind, cfg.Interconnect)
+				}
+				if s.logf != nil {
+					s.logf("serve: tenant %q: replaying a %v-recorded trace onto %v interconnects (kind mismatch allowed by config)",
+						tc.Name, rc.Kind, cfg.Interconnect)
+				}
+			}
+		}
 		if owner, taken := bandOwner[tc.Band]; taken {
 			// The silent-degradation gap: two tenants on one band always
 			// serialize behind one shard queue. Count and warn — never
@@ -374,6 +490,12 @@ func (s *Server) Engines() int { return s.k }
 
 // Bands returns the map's band count.
 func (s *Server) Bands() int { return s.bands }
+
+// Interconnect returns the per-shard fabric kind.
+func (s *Server) Interconnect() Interconnect { return s.ic }
+
+// Side returns the per-shard mesh side under MOT2D (0 under Bipartite).
+func (s *Server) Side() int { return s.side }
 
 // Params returns the deployment's Lemma 2 parameter point.
 func (s *Server) Params() memmap.Params { return s.params }

@@ -71,6 +71,23 @@ func (g *genSource) NextBatch() (model.Batch, bool) {
 	return b, true
 }
 
+// TraceConfigured is implemented by sources backed by a recorded PRAMTRC1
+// trace: TraceConfig returns the trace's header configuration (machine
+// kind, lane shape, knobs) and true. Wrapper sources forward it, so the
+// header survives adapters like Remap and NewServer can validate the
+// recorded machine kind against the pool's interconnect.
+type TraceConfigured interface {
+	TraceConfig() (replay.Config, bool)
+}
+
+// TraceHeader unwraps a source's recorded trace header, if it has one.
+func TraceHeader(src Source) (replay.Config, bool) {
+	if tc, ok := src.(TraceConfigured); ok {
+		return tc.TraceConfig()
+	}
+	return replay.Config{}, false
+}
+
 // remapSource folds a source's addresses into a band with a modular remap
 // — shape-preserving (hot variables stay hot, broadcasts stay broadcasts)
 // but NOT offset-preserving, so it is the adapter for streams recorded
@@ -109,17 +126,32 @@ func (r *remapSource) NextBatch() (model.Batch, bool) {
 	return b, true
 }
 
+// TraceConfig implements TraceConfigured by delegation: remapping does not
+// change what was recorded.
+func (r *remapSource) TraceConfig() (replay.Config, bool) {
+	return TraceHeader(r.inner)
+}
+
+// traceSource adapts one lane of a replay.BatchSource as a Source that
+// also surfaces its PRAMTRC1 header.
+type traceSource struct{ *replay.BatchSource }
+
+// TraceConfig implements TraceConfigured.
+func (t traceSource) TraceConfig() (replay.Config, bool) { return t.Config(), true }
+
 // NewTraceSource returns a factory serving one lane of a recorded PRAMTRC1
 // trace (replay.BatchSource) as tenant traffic, with the trace's addresses
 // modularly remapped into the tenant's band. When loop is true the trace
-// restarts at eof and streams indefinitely.
+// restarts at eof and streams indefinitely. The trace's header rides along
+// (TraceConfigured), so NewServer validates the recorded machine kind
+// against the pool's interconnect at admission.
 func NewTraceSource(data []byte, lane int, loop bool) SourceFactory {
 	return func(b Band) Source {
 		src, err := replay.NewBatchSource(data, lane, loop)
 		if err != nil {
 			return &failedSource{err: err}
 		}
-		return Remap(src, b)
+		return Remap(traceSource{src}, b)
 	}
 }
 
