@@ -10,6 +10,16 @@
 //	serve loadgen [shape flags]           open-/closed-loop load generator:
 //	                                      uniform tenants, arrival shaping,
 //	                                      throughput + backpressure report
+//	serve http    -tenants SPEC [flags]   live wall-clock serving: tenant
+//	                                      submission over POST /submit, live
+//	                                      /metrics + /healthz, scrape-driven
+//	                                      K-autoscaling, graceful SIGTERM
+//	                                      drain; -record-script/-record-trace
+//	                                      capture the run for replay
+//	serve replay  -script FILE [-trace T] replay a recorded live run in
+//	                                      virtual time and verify it against
+//	                                      the script footer (and, with
+//	                                      -trace, byte-compare the trace)
 //
 // Tenant spec (run): comma-separated items, each
 //
@@ -20,8 +30,10 @@
 //	                     into the tenant's band
 //
 // Tenant i owns band i. Arrivals: -arrival closed:W (W credits kept
-// outstanding) or open:PERIOD:BURST[:ON:OFF] (open-loop, optionally
-// bursty). -check runs the mix twice and fails unless the per-tenant
+// outstanding), open:PERIOD:BURST[:ON:OFF] (open-loop, optionally bursty;
+// PERIOD and BURST must be >= 1), or external (no autonomous arrivals —
+// credits enter only through `serve http` submissions). -check runs the
+// mix twice and fails unless the per-tenant
 // report hashes and the final store fingerprint repeat bit-for-bit — the
 // determinism gate CI's serve smoke runs under the race detector.
 // -metrics FILE writes the final Prometheus text exposition ("-" for
@@ -63,6 +75,10 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "loadgen":
 		err = cmdLoadgen(os.Args[2:])
+	case "http":
+		err = cmdHTTP(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -88,6 +104,10 @@ func usage() {
                 [-rounds N] [-queue CAP] [-loop closed|open] [-window W]
                 [-period P] [-burst B] [-on N -off N] [-seed S] [-wseed S]
                 [-interconnect bipartite|mot2d] [-kexp K] [-gran D] [-dualrail]
+  serve http    -tenants SPEC [-addr HOST:PORT] [-round-every DUR]
+                [-autoscale MIN:MAX[:WINDOW]] [-record-script FILE]
+                [-record-trace FILE] [shared flags as for run]
+  serve replay  -script FILE [-trace FILE] [-v]
 `)
 }
 
@@ -158,7 +178,7 @@ func parseMode(s string) (model.Mode, error) {
 	return 0, fmt.Errorf("unknown mode %q (want crew, crcw, common or arbitrary)", s)
 }
 
-// parseArrival decodes closed:W / open:PERIOD:BURST[:ON:OFF].
+// parseArrival decodes closed:W / open:PERIOD:BURST[:ON:OFF] / external.
 func parseArrival(s string) (serve.Arrival, error) {
 	parts := strings.Split(s, ":")
 	atoi := func(i int) (int, error) {
@@ -201,9 +221,21 @@ func parseArrival(s string) (serve.Arrival, error) {
 		} else if len(parts) == 4 || len(parts) > 5 {
 			return a, fmt.Errorf("arrival %q: want open:PERIOD:BURST[:ON:OFF]", s)
 		}
+		// An explicit zero period or burst used to slip through to the
+		// Arrival zero value and silently become closed-loop window 1 —
+		// the opposite traffic shape of what "open" asked for.
+		if a.Period < 1 || a.Burst < 1 {
+			return a, fmt.Errorf("arrival %q: open loop needs PERIOD and BURST >= 1 (use closed:W or external instead)", s)
+		}
 		return a, nil
+	case "external", "none":
+		if len(parts) > 1 {
+			return serve.Arrival{}, fmt.Errorf("arrival %q: external takes no fields", s)
+		}
+		// No autonomous arrivals: credits enter via Submit (`serve http`).
+		return serve.Arrival{External: true}, nil
 	}
-	return serve.Arrival{}, fmt.Errorf("arrival %q: want closed:W or open:PERIOD:BURST[:ON:OFF]", s)
+	return serve.Arrival{}, fmt.Errorf("arrival %q: want closed:W, open:PERIOD:BURST[:ON:OFF] or external", s)
 }
 
 // parseTenants renders a -tenants spec into tenant configs.
@@ -215,51 +247,53 @@ func parseTenants(spec string, sf *sharedFlags, arrival serve.Arrival) ([]serve.
 		if item == "" {
 			return nil, fmt.Errorf("tenant %d: empty spec", i)
 		}
-		parts := strings.Split(item, ":")
+		head, rest, hasRest := strings.Cut(item, ":")
 		tc := serve.TenantConfig{
-			Name:     fmt.Sprintf("t%d-%s", i, parts[0]),
+			Name:     fmt.Sprintf("t%d-%s", i, head),
 			Band:     i,
 			Arrival:  arrival,
 			QueueCap: sf.queue,
 		}
-		switch parts[0] {
+		switch head {
 		case "trace":
-			if len(parts) < 2 {
+			if !hasRest || rest == "" {
 				return nil, fmt.Errorf("tenant %d: trace spec needs a file (trace:FILE[:lane])", i)
 			}
-			data, err := os.ReadFile(parts[1])
+			// Bounded split: only a TRAILING integer field is a lane, so
+			// trace file paths may themselves contain colons.
+			file, lane := rest, 0
+			if j := strings.LastIndex(rest, ":"); j >= 0 {
+				if n, err := strconv.Atoi(rest[j+1:]); err == nil && n >= 0 {
+					file, lane = rest[:j], n
+				}
+			}
+			data, err := os.ReadFile(file)
 			if err != nil {
 				return nil, fmt.Errorf("tenant %d: %v", i, err)
 			}
-			lane := 0
-			if len(parts) > 2 {
-				if lane, err = strconv.Atoi(parts[2]); err != nil {
-					return nil, fmt.Errorf("tenant %d: bad lane %q", i, parts[2])
-				}
-			}
 			r, err := replay.NewReader(bytes.NewReader(data))
 			if err != nil {
-				return nil, fmt.Errorf("tenant %d: %s: %v", i, parts[1], err)
+				return nil, fmt.Errorf("tenant %d: %s: %v", i, file, err)
 			}
 			tc.Procs = r.Config().Procs
 			tc.Source = serve.NewTraceSource(data, lane, false)
 			tc.Name = fmt.Sprintf("t%d-trace", i)
 		default:
-			pat, err := replay.ParsePattern(strings.TrimPrefix(parts[0], "global-"))
+			pat, err := replay.ParsePattern(strings.TrimPrefix(head, "global-"))
 			global := false
-			if parts[0] == "global" {
+			if head == "global" {
 				pat, err, global = replay.Uniform, nil, true
-			} else if strings.HasPrefix(parts[0], "global-") {
+			} else if strings.HasPrefix(head, "global-") {
 				global = true
 			}
 			if err != nil {
 				return nil, fmt.Errorf("tenant %d: %v", i, err)
 			}
 			steps := int64(0)
-			if len(parts) > 1 {
-				n, perr := strconv.Atoi(parts[1])
+			if hasRest {
+				n, perr := strconv.Atoi(rest)
 				if perr != nil || n < 0 {
-					return nil, fmt.Errorf("tenant %d: bad step count %q", i, parts[1])
+					return nil, fmt.Errorf("tenant %d: bad step count %q", i, rest)
 				}
 				steps = int64(n)
 			}
@@ -295,6 +329,10 @@ func execute(cfg serve.Config, rounds int) (*outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Close on EVERY exit: the ServeAll and SrcErr error returns below used
+	// to leak the pool's worker goroutines. Close is idempotent, so the
+	// success path needs no special casing.
+	defer s.Pool().Close()
 	start := time.Now()
 	if rounds <= 0 {
 		if err := s.ServeAll(1 << 20); err != nil {
@@ -317,7 +355,6 @@ func execute(cfg serve.Config, rounds int) (*outcome, error) {
 		}
 		o.stats = append(o.stats, st)
 	}
-	s.Pool().Close()
 	return o, nil
 }
 

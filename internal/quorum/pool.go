@@ -68,6 +68,14 @@ type Pool struct {
 	n        int // processors per shard
 	par      int // worker goroutines (caller included)
 
+	// Construction inputs, kept so Resize can build additional shard
+	// machines identical to the originals.
+	name       string
+	newNet     func(shard int) Interconnect
+	mode       model.Mode
+	twoStage   *TwoStageConfig
+	cfgWorkers int // the PoolConfig.Workers encoding, re-resolved on Resize
+
 	// Step-scoped partition state. modOwner/modStamp are per module and
 	// stamped per step so they never need clearing; the union-find and
 	// component buffers are K-sized.
@@ -125,6 +133,10 @@ func NewPool(name string, store *Store, newNet func(shard int) Interconnect, cfg
 		machines:   make([]*Machine, k),
 		k:          k,
 		n:          cfg.Procs,
+		name:       name,
+		newNet:     newNet,
+		mode:       cfg.Mode,
+		cfgWorkers: cfg.Workers,
 		modOwner:   make([]int32, store.Map().Modules()),
 		modStamp:   make([]int64, store.Map().Modules()),
 		ufParent:   make([]int32, k),
@@ -134,16 +146,28 @@ func NewPool(name string, store *Store, newNet func(shard int) Interconnect, cfg
 		compShards: make([]int32, k),
 		reports:    make([]model.StepReport, k),
 	}
+	if cfg.TwoStage != nil {
+		ts := *cfg.TwoStage
+		p.twoStage = &ts
+	}
 	for i := range p.machines {
-		m := NewMachine(fmt.Sprintf("%s[%d]", name, i), cfg.Procs, cfg.Mode, store, newNet(i))
-		if cfg.TwoStage != nil {
-			ts := *cfg.TwoStage
-			m.SetTwoStage(&ts)
-		}
-		p.machines[i] = m
+		p.machines[i] = p.newMachine(i)
 	}
 	p.par = resolveWorkers(cfg.Workers, k)
 	return p
+}
+
+// newMachine builds shard i's machine from the pool's construction inputs.
+func (p *Pool) newMachine(i int) *Machine {
+	m := NewMachine(fmt.Sprintf("%s[%d]", p.name, i), p.n, p.mode, p.store, p.newNet(i))
+	if p.twoStage != nil {
+		ts := *p.twoStage
+		m.SetTwoStage(&ts)
+	}
+	if p.sink != nil {
+		m.SetStepSink(p.sink, i)
+	}
+	return m
 }
 
 // ResolveEngines maps the PoolConfig.Engines / core.Config.Engines
@@ -255,6 +279,61 @@ func (p *Pool) SetWorkers(w int) {
 		p.workers = nil
 	}
 	p.par = w
+}
+
+// Resize reconfigures the pool to k workload shards ONLINE, between
+// rounds: growing appends fresh machines (identical construction to the
+// originals — same store, same per-shard interconnect factory, same mode
+// and two-stage schedule), shrinking retires the top shards. The store is
+// module-sharded and shared, so a resize moves NO data — it only changes
+// how many concurrent lanes the next round may carry; callers that map
+// work onto shards (the serving front end's band%K placement) re-band on
+// top. Per-shard results stay bit-for-bit: a batch executes identically on
+// any shard machine, and the component partition is re-derived every step.
+//
+// Must not be called concurrently with ExecuteSteps, and invalidates the
+// report slices returned by earlier rounds. The worker count is re-resolved
+// from the construction-time Workers encoding against the new k. Resizing
+// allocates (machine construction); it is a transition, not a hot path.
+func (p *Pool) Resize(k int) {
+	if k < 1 {
+		panic(fmt.Sprintf("quorum.Pool.Resize: k=%d < 1", k))
+	}
+	if k == p.k {
+		return
+	}
+	if k < p.k {
+		for i := k; i < p.k; i++ {
+			p.machines[i] = nil // release retired shards' scratch
+		}
+		p.machines = p.machines[:k]
+	} else {
+		for i := p.k; i < k; i++ {
+			p.machines = append(p.machines, p.newMachine(i))
+		}
+	}
+	p.k = k
+	p.ufParent = make([]int32, k)
+	p.compID = make([]int32, k)
+	p.compCnt = make([]int32, k)
+	p.compEnd = make([]int32, k)
+	p.compShards = make([]int32, k)
+	p.reports = make([]model.StepReport, k)
+	if par := resolveWorkers(p.cfgWorkers, k); par != p.par {
+		if p.workers != nil {
+			p.workers.shutdown()
+			p.workers = nil
+		}
+		p.par = par
+	}
+	// Census values describe the previous round's shard set; reset so a
+	// caller polling between rounds never reads occupancy above the new k.
+	if p.lastComp > k {
+		p.lastComp = k
+	}
+	if p.lastActive > k {
+		p.lastActive = k
+	}
 }
 
 // SetStepSink attaches a step sink to every shard machine — shard k

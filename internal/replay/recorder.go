@@ -43,6 +43,27 @@ type Recorder struct {
 // its post-construction state (the header embeds its fingerprint and
 // replaying readers verify it): attach before any loads or steps.
 func NewRecorder(w io.Writer, built *Built) (*Recorder, error) {
+	r, err := NewSinkRecorder(w, built)
+	if err != nil {
+		return nil, err
+	}
+	if built.Pool != nil {
+		built.Pool.SetStepSink(r)
+	} else {
+		built.Machine.SetStepSink(r, 0)
+	}
+	return r, nil
+}
+
+// NewSinkRecorder writes the trace header for built's configuration onto w
+// but attaches NOTHING: the caller owns the sink wiring. This is the entry
+// point for captures whose lane space is not the pool's shard space — the
+// serving front end records through a translating sink that renames shard
+// lanes to stable tenant lanes (so the lane count survives online pool
+// resizes), and forwards to this recorder's StepSink methods itself.
+// built.Machine and built.Pool may both be nil; only Cfg (normalized, with
+// Lanes the caller's lane count), Store, Params and Side are read.
+func NewSinkRecorder(w io.Writer, built *Built) (*Recorder, error) {
 	r := &Recorder{
 		w:       bufio.NewWriter(w),
 		built:   built,
@@ -56,11 +77,6 @@ func NewRecorder(w io.Writer, built *Built) (*Recorder, error) {
 	hdr := encodeHeader(nil, built, built.Store.Fingerprint())
 	if err := r.writeFrame(kindHeader, hdr); err != nil {
 		return nil, err
-	}
-	if built.Pool != nil {
-		built.Pool.SetStepSink(r)
-	} else {
-		built.Machine.SetStepSink(r, 0)
 	}
 	return r, nil
 }
@@ -193,7 +209,7 @@ func (r *Recorder) Close() error {
 	if r.built != nil {
 		if r.built.Pool != nil {
 			r.built.Pool.SetStepSink(nil)
-		} else {
+		} else if r.built.Machine != nil {
 			r.built.Machine.SetStepSink(nil, 0)
 		}
 	}

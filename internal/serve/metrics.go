@@ -8,9 +8,11 @@ import (
 
 // collector renders the server's counters as Prometheus families. Label
 // strings are precomputed at registration so collection allocates only in
-// the registry's own rendering.
+// the registry's own rendering — and recomputed when an online Resize
+// moves tenants between shards (the shard label is part of the identity).
 type collector struct {
 	s            *Server
+	labelsK      int // the K the cached labels were computed for
 	tenantLabels []string
 	shardLabels  []string
 }
@@ -20,16 +22,26 @@ type collector struct {
 // mutated by the serving goroutine without synchronization.
 func (s *Server) Metrics(reg *prom.Registry) {
 	c := &collector{s: s}
+	c.refreshLabels()
+	reg.Register(c)
+}
+
+// refreshLabels (re)computes the per-tenant and per-shard label strings
+// for the server's current K.
+func (c *collector) refreshLabels() {
+	s := c.s
+	c.labelsK = s.k
+	c.tenantLabels = c.tenantLabels[:0]
 	for _, t := range s.tenants {
 		c.tenantLabels = append(c.tenantLabels, prom.Labels(
 			prom.Label("tenant", t.cfg.Name),
 			prom.Label("band", strconv.Itoa(t.cfg.Band)),
 			prom.Label("shard", strconv.Itoa(t.shard))))
 	}
+	c.shardLabels = c.shardLabels[:0]
 	for sh := 0; sh < s.k; sh++ {
 		c.shardLabels = append(c.shardLabels, prom.Label("shard", strconv.Itoa(sh)))
 	}
-	reg.Register(c)
 }
 
 // Describe implements prom.Collector.
@@ -42,9 +54,14 @@ func (c *collector) Describe(desc func(prom.Desc)) {
 		{Name: "pramsim_serve_forced_merges_total", Help: "forced serial-component merges (cross-band module contention)", Type: "counter"},
 		{Name: "pramsim_serve_band_overlap_tenants", Help: "tenants admitted onto a band another tenant already owns", Type: "gauge"},
 		{Name: "pramsim_serve_engines", Help: "engine (shard) count K", Type: "gauge"},
+		{Name: "pramsim_serve_resizes_total", Help: "online engine-count (K) transitions performed", Type: "counter"},
+		{Name: "pramsim_serve_pool_last_active", Help: "shards that carried work in the most recent executed round", Type: "gauge"},
+		{Name: "pramsim_serve_pool_last_components", Help: "module-connectivity components of the most recent executed round", Type: "gauge"},
+		{Name: "pramsim_serve_draining", Help: "1 while admission is stopped and queues drain", Type: "gauge"},
 		{Name: "pramsim_serve_tenant_steps_total", Help: "tenant steps executed", Type: "counter"},
 		{Name: "pramsim_serve_tenant_submitted_total", Help: "step credits offered by the tenant's arrival process", Type: "counter"},
 		{Name: "pramsim_serve_tenant_rejected_total", Help: "step credits rejected by the bounded admission queue", Type: "counter"},
+		{Name: "pramsim_serve_tenant_unserved_total", Help: "step credits admitted but voided by source exhaustion", Type: "counter"},
 		{Name: "pramsim_serve_tenant_queue_depth", Help: "current admission-queue depth in step credits", Type: "gauge"},
 		{Name: "pramsim_serve_tenant_sim_time_total", Help: "summed simulated step time", Type: "counter"},
 		{Name: "pramsim_serve_tenant_phases_total", Help: "summed quorum protocol phases", Type: "counter"},
@@ -57,6 +74,9 @@ func (c *collector) Describe(desc func(prom.Desc)) {
 // Collect implements prom.Collector.
 func (c *collector) Collect(emit func(prom.Sample)) {
 	s := c.s
+	if c.labelsK != s.k {
+		c.refreshLabels()
+	}
 	st := s.Stats()
 	emit(prom.Sample{Name: "pramsim_serve_rounds_total", Value: float64(st.Rounds)})
 	emit(prom.Sample{Name: "pramsim_serve_exec_rounds_total", Value: float64(st.ExecRounds)})
@@ -65,11 +85,20 @@ func (c *collector) Collect(emit func(prom.Sample)) {
 	emit(prom.Sample{Name: "pramsim_serve_forced_merges_total", Value: float64(st.ForcedMerges)})
 	emit(prom.Sample{Name: "pramsim_serve_band_overlap_tenants", Value: float64(st.BandOverlaps)})
 	emit(prom.Sample{Name: "pramsim_serve_engines", Value: float64(s.k)})
+	emit(prom.Sample{Name: "pramsim_serve_resizes_total", Value: float64(st.Resizes)})
+	emit(prom.Sample{Name: "pramsim_serve_pool_last_active", Value: float64(s.pool.LastActive())})
+	emit(prom.Sample{Name: "pramsim_serve_pool_last_components", Value: float64(s.pool.LastComponents())})
+	draining := 0.0
+	if s.draining {
+		draining = 1
+	}
+	emit(prom.Sample{Name: "pramsim_serve_draining", Value: draining})
 	for i, t := range s.tenants {
 		l := c.tenantLabels[i]
 		emit(prom.Sample{Name: "pramsim_serve_tenant_steps_total", Labels: l, Value: float64(t.steps)})
 		emit(prom.Sample{Name: "pramsim_serve_tenant_submitted_total", Labels: l, Value: float64(t.submitted)})
 		emit(prom.Sample{Name: "pramsim_serve_tenant_rejected_total", Labels: l, Value: float64(t.rejected)})
+		emit(prom.Sample{Name: "pramsim_serve_tenant_unserved_total", Labels: l, Value: float64(t.unserved)})
 		emit(prom.Sample{Name: "pramsim_serve_tenant_queue_depth", Labels: l, Value: float64(t.credits)})
 		emit(prom.Sample{Name: "pramsim_serve_tenant_sim_time_total", Labels: l, Value: float64(t.simTime)})
 		emit(prom.Sample{Name: "pramsim_serve_tenant_phases_total", Labels: l, Value: float64(t.phases)})

@@ -38,6 +38,29 @@
 // pool's component census). Both fire the optional Logf hook once, so a
 // deployment sees its fast path eroding instead of just slowing down.
 //
+// # Autoscaling and resize determinism
+//
+// The engine count K is a wall-clock knob, not a semantic one, and the
+// Autoscaler exploits that: watching the degradation signals the server
+// already counts (forced merges, pool occupancy, queue depth, rejection
+// rate), it grows or shrinks K online via Server.Resize — the pool adds or
+// retires shard machines and every tenant re-bands to shard band%K, with
+// no data movement (the store is module-sharded) and no accounting reset,
+// so the admission identity submitted == steps + queue + rejected +
+// unserved holds through every transition. Because per-tenant results are
+// K-invariant, a resize changes occupancy and wall clock only: per-tenant
+// hashes and the store fingerprint are unchanged by WHEN (or whether) the
+// autoscaler acts.
+//
+// The caveat is, as ever, rejection determinism: Rejected counts depend
+// on queue drain rates, and drain rates depend on K. An open-loop or
+// externally-submitted mix that overflows its queues is deterministic per
+// (K schedule, arrival script) — which is why live HTTP mode records both
+// the resize rounds and the submissions into the arrival script — but a
+// DIFFERENT K schedule may split the same submissions differently between
+// served and rejected. Replays therefore re-apply the recorded resizes at
+// their recorded rounds instead of re-running the autoscaler policy.
+//
 // The per-round serving path — admission, scheduling, pool execution,
 // accounting — performs zero steady-state heap allocations
 // (TestServeRoundZeroAllocs), extending the repository's invariant one
@@ -46,6 +69,7 @@ package serve
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/memmap"
 	"repro/internal/model"
@@ -129,19 +153,31 @@ type SourceFactory func(b Band) Source
 // operation: every Period rounds a burst of Burst credits arrives,
 // regardless of completion, and credits beyond the queue cap are
 // rejected; On/Off > 0 additionally gate the process into on/off phases
-// of that many rounds (the bursty shape). The zero value defaults to
-// closed-loop with a window of 1.
+// of that many rounds (the bursty shape). External disables autonomous
+// arrivals entirely: credits enter only through Server.Submit — the live
+// HTTP admission mode, where the arrival process is the outside world and
+// determinism comes from recording it as a script. The zero value (with
+// External false) defaults to closed-loop with a window of 1; an EXPLICIT
+// open-loop request needs Period or Burst > 0 — cmd/serve's parser rejects
+// `open:0:0` rather than let it silently degrade to that default.
 type Arrival struct {
-	Window int
-	Period int
-	Burst  int
-	On     int
-	Off    int
+	Window   int
+	Period   int
+	Burst    int
+	On       int
+	Off      int
+	External bool
 }
 
 // arrivals returns how many credits arrive at virtual round r.
 func (a Arrival) arrivals(r int64, credits int) int {
-	if a.Window > 0 || (a.Period == 0 && a.Burst == 0) {
+	if a.External {
+		return 0
+	}
+	// Closed loop: an explicit Window, or the FULL zero value. A struct
+	// with any open-loop field set (even a degenerate zero Period/Burst
+	// with On/Off shaping) meant open loop and must not fall back here.
+	if a.Window > 0 || (a.Period == 0 && a.Burst == 0 && a.On == 0 && a.Off == 0) {
 		w := a.Window
 		if w == 0 {
 			w = 1
@@ -273,6 +309,15 @@ type Server struct {
 	k      int
 	nMax   int
 
+	// Resolved construction parameters, kept so StartTrace can synthesize
+	// a faithful PRAMTRC1 header for the deployment.
+	mode     model.Mode
+	seed     int64
+	kExp     float64
+	eps      float64
+	gran     float64
+	dualRail bool
+
 	tenants []*tenant
 	byShard [][]int // tenant ids per shard, in admission order
 	cursor  []int   // per-shard round-robin position
@@ -290,6 +335,9 @@ type Server struct {
 	mergedRounds int64
 	forcedMerges int64
 	bandOverlaps int64
+	resizes      int64
+
+	rec *replay.Recorder // live trace capture (tenant-lane), nil when off
 
 	logf        func(string, ...any)
 	loggedMerge bool
@@ -396,6 +444,14 @@ func NewServer(cfg Config) (s *Server, err error) {
 	}(); err != nil {
 		return nil, err
 	}
+	// Every error return below this point must retire the pool's executor
+	// goroutines: a rejected config (bad tenant, trace kind mismatch) is a
+	// recoverable error, not a license to leak workers.
+	defer func() {
+		if err != nil {
+			pool.Close()
+		}
+	}()
 
 	s = &Server{
 		pool:       pool,
@@ -406,6 +462,12 @@ func NewServer(cfg Config) (s *Server, err error) {
 		bands:      bands,
 		k:          k,
 		nMax:       nMax,
+		mode:       mode,
+		seed:       seed,
+		kExp:       kExp,
+		eps:        eps,
+		gran:       gran,
+		dualRail:   cfg.DualRail,
 		byShard:    make([][]int, k),
 		cursor:     make([]int, k),
 		batches:    make([]model.Batch, k),
@@ -506,6 +568,159 @@ func (s *Server) Pool() *quorum.Pool { return s.pool }
 // Fingerprint returns the current store fingerprint — the serving run's
 // committed-state digest.
 func (s *Server) Fingerprint() uint64 { return s.store.Fingerprint() }
+
+// TenantID resolves a tenant name to its index (the Submit handle).
+func (s *Server) TenantID(name string) (int, bool) {
+	for _, t := range s.tenants {
+		if t.cfg.Name == name {
+			return t.id, true
+		}
+	}
+	return 0, false
+}
+
+// Draining reports whether admission has been stopped by Drain.
+func (s *Server) Draining() bool { return s.draining }
+
+// Resizes reports how many online K transitions the server has performed.
+func (s *Server) Resizes() int64 { return s.resizes }
+
+// Submit offers n step credits to tenant id's bounded admission queue —
+// the external-admission path the HTTP front end maps POST /submit onto.
+// It returns how many credits were accepted and how many rejected;
+// rejection is counted, never silent, and a draining server or exhausted
+// tenant rejects everything. The split is a deterministic function of the
+// server's state, so replaying a recorded (round, tenant, n) submission
+// script reproduces the live run's accounting exactly.
+func (s *Server) Submit(id, n int) (accepted, rejected int) {
+	if id < 0 || id >= len(s.tenants) {
+		panic(fmt.Sprintf("serve: Submit tenant %d outside [0,%d)", id, len(s.tenants)))
+	}
+	if n <= 0 {
+		return 0, 0
+	}
+	t := s.tenants[id]
+	t.submitted += int64(n)
+	if s.draining || t.done {
+		t.rejected += int64(n)
+		return 0, n
+	}
+	accepted = n
+	if room := t.cap - t.credits; accepted > room {
+		rejected = accepted - room
+		accepted = room
+		t.rejected += int64(rejected)
+	}
+	t.credits += accepted
+	if t.credits > t.maxQueue {
+		t.maxQueue = t.credits
+	}
+	return accepted, rejected
+}
+
+// Resize changes the pool's engine count K online, between rounds: the
+// pool adds or retires shard machines (quorum.Pool.Resize — the store is
+// module-sharded, so no data moves) and the server re-bands every tenant
+// onto shard band%K, rebuilding the per-shard schedules in admission
+// order with cursors at the top. Queued credits and all per-tenant
+// accounting survive untouched, so the admission identity
+// submitted == steps + queue + rejected + unserved holds through the
+// transition. Must be called between rounds, from the serving goroutine.
+func (s *Server) Resize(k int) {
+	if k < 1 {
+		panic(fmt.Sprintf("serve: Resize k=%d < 1", k))
+	}
+	if k == s.k {
+		return
+	}
+	prev := s.k
+	s.pool.Resize(k)
+	s.k = k
+	s.byShard = make([][]int, k)
+	s.cursor = make([]int, k)
+	s.batches = make([]model.Batch, k)
+	s.execTenant = make([]int32, k)
+	for _, t := range s.tenants {
+		t.shard = t.cfg.Band % k
+		s.byShard[t.shard] = append(s.byShard[t.shard], t.id)
+	}
+	s.resizes++
+	if s.logf != nil {
+		s.logf("serve: resized K %d -> %d (round %d, %d tenants re-banded)", prev, k, s.round, len(s.tenants))
+	}
+}
+
+// StartTrace begins recording the run as a PRAMTRC1 trace onto w. Lanes
+// are TENANT ids, not pool shards: a translating sink renames each
+// executed step's shard lane to the tenant it served, so the capture has
+// a fixed lane count (the mix size) and survives online Resize — a trace
+// of the workload, not of the momentary pool shape. Stop with StopTrace
+// (before reading w); only one trace may be active.
+func (s *Server) StartTrace(w io.Writer) error {
+	if s.rec != nil {
+		return fmt.Errorf("serve: a trace is already being recorded")
+	}
+	kind := replay.KindDMMPC
+	gran := s.eps // the DMMPC header convention: Gran is the Lemma 2 ε
+	if s.ic == MOT2D {
+		kind = replay.KindMOT2D
+		gran = s.gran
+	}
+	built := &replay.Built{
+		Cfg: replay.Config{
+			Kind: kind, Lanes: len(s.tenants), Procs: s.nMax, Mode: s.mode,
+			Seed: s.seed, KExp: s.kExp, Gran: gran, DualRail: s.dualRail,
+		},
+		Store:  s.store,
+		Params: s.params,
+		Side:   s.side,
+	}
+	rec, err := replay.NewSinkRecorder(w, built)
+	if err != nil {
+		return err
+	}
+	s.rec = rec
+	s.pool.SetStepSink(&tenantLaneSink{s: s})
+	return nil
+}
+
+// StopTrace detaches the trace sink, writes the eof frame (step count +
+// final store fingerprint) and reports the first recording error.
+func (s *Server) StopTrace() error {
+	if s.rec == nil {
+		return nil
+	}
+	s.pool.SetStepSink(nil)
+	err := s.rec.Close()
+	s.rec = nil
+	return err
+}
+
+// tenantLaneSink renames pool shard lanes to tenant lanes on the way into
+// the trace recorder. execTenant is written by Round before the pool runs
+// and read-only while shard machines execute, so concurrent RecordStep
+// calls (different shards, hence different tenants) stay race-free.
+type tenantLaneSink struct {
+	s *Server
+}
+
+func (ts *tenantLaneSink) RecordStep(lane int, reads []quorum.Request, readerOff, readerProcs []int32,
+	writes []quorum.Request, rep model.StepReport) {
+	id := ts.s.execTenant[lane]
+	if id < 0 {
+		return // idle shard: empty batch, nothing served
+	}
+	ts.s.rec.RecordStep(int(id), reads, readerOff, readerProcs, writes, rep)
+}
+
+func (ts *tenantLaneSink) RecordLoad(lane int, base model.Addr, vals []model.Word) {
+	// The serving path never calls LoadCells mid-run; a setup-time load
+	// has no tenant to attribute to and is not part of the serving trace.
+}
+
+func (ts *tenantLaneSink) StepBarrier() {
+	ts.s.rec.StepBarrier()
+}
 
 // Round executes one serving round — admission, band-aware scheduling (at
 // most one queued step per shard, round-robin over the shard's tenants),
@@ -650,6 +865,13 @@ func (s *Server) Run(rounds int) {
 	}
 }
 
+// StopAdmission stops admission — open-loop arrivals are no longer
+// accepted, closed-loop windows stop replenishing, Submit rejects — without
+// executing any rounds. The replay path uses it to reproduce a recorded
+// drain transition at its recorded round; interactive callers usually want
+// Drain, which also runs the queues dry.
+func (s *Server) StopAdmission() { s.draining = true }
+
 // Drain stops admission — open-loop arrivals are no longer accepted,
 // closed-loop windows stop replenishing — and keeps executing rounds until
 // every queued credit is consumed or its source exhausted. The graceful-
@@ -691,6 +913,40 @@ func (s *Server) ServeAll(maxRounds int) error {
 		}
 	}
 	return fmt.Errorf("serve: mix not finished after %d rounds", maxRounds)
+}
+
+// PlayScript replays a recorded arrival script in virtual time: for every
+// virtual round it applies the events recorded before that round — in
+// recorded order: submissions, resizes, the admission stop — then executes
+// the round, for exactly `rounds` rounds (the script footer's count, which
+// includes the live run's drain rounds). Combined with identical tenant
+// specs and seed this reproduces the live run bit-for-bit; re-record the
+// replay through StartTrace and even the trace bytes come out identical.
+func (s *Server) PlayScript(events []replay.ScriptEvent, rounds int64) {
+	i := 0
+	for r := int64(0); r < rounds; r++ {
+		for i < len(events) && events[i].Round <= r {
+			s.applyEvent(events[i])
+			i++
+		}
+		s.Round()
+	}
+	for i < len(events) {
+		s.applyEvent(events[i])
+		i++
+	}
+}
+
+// applyEvent applies one recorded external event.
+func (s *Server) applyEvent(ev replay.ScriptEvent) {
+	switch {
+	case ev.IsResize():
+		s.Resize(ev.K)
+	case ev.IsDrain():
+		s.StopAdmission()
+	default:
+		s.Submit(ev.Tenant, ev.Credits)
+	}
 }
 
 // Close drains the server and retires the pool's executor goroutines.
@@ -746,6 +1002,7 @@ type Stats struct {
 	MergedRounds int64 // executed rounds with ≥ 1 forced serial merge
 	ForcedMerges int64 // total forced serial-component merges
 	BandOverlaps int64 // tenants admitted onto an already-owned band
+	Resizes      int64 // online K transitions performed
 }
 
 // Stats returns the server-wide account.
@@ -753,6 +1010,6 @@ func (s *Server) Stats() Stats {
 	return Stats{
 		Rounds: s.round, ExecRounds: s.execRounds, IdleRounds: s.idleRounds,
 		MergedRounds: s.mergedRounds, ForcedMerges: s.forcedMerges,
-		BandOverlaps: s.bandOverlaps,
+		BandOverlaps: s.bandOverlaps, Resizes: s.resizes,
 	}
 }
