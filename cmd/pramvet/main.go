@@ -1,0 +1,76 @@
+// Command pramvet is the repo's invariant checker: a multichecker over
+// the internal/lint analyzers that turns the determinism and zero-alloc
+// conventions (virtual time only, no map-range in deterministic
+// packages, no global math/rand, alloc-free //pram:hotpath functions)
+// into failing exit codes. CI runs it over ./...; run it locally the
+// same way:
+//
+//	go run ./cmd/pramvet ./...
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure. Diagnostics
+// print one per line as
+//
+//	path/file.go:line:col: [analyzer] message
+//
+// The analyzer suite and the //pram: annotation grammar are documented
+// in internal/lint. (The suite mirrors golang.org/x/tools/go/analysis
+// shapes but is stdlib-only, so there is no -vettool integration; this
+// standalone driver is the supported entry point.)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pramvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	dir := fs.String("C", ".", "change to `dir` (the module root) before loading packages")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: pramvet [-C dir] [-list] [packages]\n\n")
+		fmt.Fprintf(stderr, "Checks the pram determinism/zero-alloc invariants; see internal/lint.\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.LoadPackages(*dir, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "pramvet: %v\n", err)
+		return 2
+	}
+	diags, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "pramvet: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "pramvet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

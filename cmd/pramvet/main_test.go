@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materializes a file tree under dir.
+func writeTree(t *testing.T, dir string, files map[string]string) {
+	t.Helper()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRunEndToEnd drives the whole driver — go list loading, type
+// checking, the analyzer suite, exit codes — over a throwaway module
+// that reuses this repo's module path so the scope predicates engage.
+// It is the CI-shaped proof: reintroducing a violation flips the exit
+// status to 1, annotating it flips it back to 0.
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"go.mod": "module repro\n\ngo 1.24\n",
+		"internal/model/clock.go": `package model
+
+import "time"
+
+// LastStep records when the most recent step executed.
+var LastStep time.Time
+
+func MarkStep() { LastStep = time.Now() }
+`,
+	})
+
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", dir, "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run on violating module: exit %d, want 1\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "[nowallclock]") ||
+		!strings.Contains(out.String(), "time.Now reads the wall clock") {
+		t.Fatalf("missing nowallclock diagnostic in output:\n%s", out.String())
+	}
+
+	// The sanctioned escape hatch turns the run clean again.
+	writeTree(t, dir, map[string]string{
+		"internal/model/clock.go": `// Wall-clock measurement sidecar; never feeds simulation state.
+//
+//pram:wallclock measurement only
+package model
+
+import "time"
+
+// LastStep records when the most recent step executed.
+var LastStep time.Time
+
+func MarkStep() { LastStep = time.Now() }
+`,
+	})
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-C", dir, "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("run on annotated module: exit %d, want 0\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errb.String())
+	}
+}
+
+// TestRunList pins the -list inventory so adding an analyzer without
+// registering it in All() is caught.
+func TestRunList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("run -list: exit %d, stderr:\n%s", code, errb.String())
+	}
+	for _, name := range []string{"nowallclock", "nomaprange", "noglobalrand", "hotalloc", "pramdirective"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
+		}
+	}
+}

@@ -110,6 +110,7 @@ func (nw *Network) RouteBatch(pkts []Packet) int64 {
 
 	var cycles int64
 	remaining := 0 // distinct flights (combined groups count once)
+	//pram:unordered summing queue lengths is commutative
 	for _, q := range queues {
 		remaining += len(q)
 	}
@@ -131,6 +132,7 @@ func (nw *Network) RouteBatch(pkts []Packet) int64 {
 		}
 		var moves []move
 		nodes := make([]int, 0, len(queues))
+		//pram:unordered key collection; nodes is sorted before use below
 		for k := range queues {
 			if len(queues[k]) > 0 {
 				nodes = append(nodes, k)

@@ -1,3 +1,11 @@
+// Wall-clock use here is the MEASUREMENT, not an input: E14 reports
+// replay step latency in µs/round, so time.Now brackets rp.Run() and
+// feeds only the reported timing column. Simulation state — batches,
+// verification hashes, merge censuses — is produced before the clock is
+// read and never depends on it, so the run's correctness columns remain
+// a pure function of (seed, config, pattern).
+//
+//pram:wallclock
 package experiments
 
 import (

@@ -83,6 +83,7 @@ func IDs() []string {
 	if len(out) != len(registry) {
 		// A runner was registered without being added to `order`.
 		missing := make([]string, 0)
+		//pram:unordered membership scan; missing is sorted before use below
 		for id := range registry {
 			found := false
 			for _, o := range out {

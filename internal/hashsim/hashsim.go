@@ -141,6 +141,7 @@ func (mc *Machine) ExecuteStep(batch model.Batch) model.StepReport {
 	}
 	maxLoad := 0
 	var accesses int64
+	//pram:unordered sum and max over per-module set sizes commute
 	for _, vars := range perModule {
 		accesses += int64(len(vars))
 		if len(vars) > maxLoad {
@@ -204,6 +205,7 @@ func AdversarialBatch(h Hash, n, memCells int) model.Batch {
 		byModule[mod] = append(byModule[mod], a)
 	}
 	best := -1
+	//pram:unordered argmax by (len, lowest mod): the tie-break makes the winner order-free
 	for mod, addrs := range byModule {
 		if best == -1 || len(addrs) > len(byModule[best]) {
 			best = mod

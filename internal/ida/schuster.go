@@ -170,6 +170,7 @@ func (mem *Memory) ExecuteStep(batch model.Batch) model.StepReport {
 		}
 	}
 	blks := make([]int, 0, len(work))
+	//pram:unordered key collection; blks is sorted on the next line
 	for b := range work {
 		blks = append(blks, b)
 	}
@@ -206,6 +207,7 @@ func (mem *Memory) ExecuteStep(batch model.Batch) model.StepReport {
 	// Cost: the step's share accesses are served by modules of bandwidth
 	// one per phase, so the step takes max-module-load phases.
 	maxLoad := 0
+	//pram:unordered max over module loads commutes
 	for _, l := range loads {
 		if l > maxLoad {
 			maxLoad = l
@@ -311,6 +313,7 @@ func (mem *Memory) LoadCells(base model.Addr, vals []model.Word) {
 	var acc int64
 	loads := map[uint32]int{}
 	mem.clock++
+	//pram:unordered distinct blocks touch disjoint planes; acc/loads accumulate commutatively
 	for blk := range touched {
 		planes := mem.readBlock(blk, &acc, loads)
 		for i, v := range vals {

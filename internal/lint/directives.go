@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The //pram: directive grammar. A directive is a line comment of the
+// exact form
+//
+//	//pram:<name> [justification...]
+//
+// (no space between // and pram:, mirroring the //go: directive
+// convention so gofmt keeps it glued to the next line). The five names
+// and their scopes:
+//
+//	//pram:wallclock  file-scoped; must appear above the package clause.
+//	                  Exempts the file from nowallclock. The annotation
+//	                  asserts every wall-clock read in the file is
+//	                  confined to measurement/IO, never simulation state.
+//	//pram:unordered  statement-scoped; on the line of a range-over-map
+//	                  statement or the line directly above it. Asserts
+//	                  the loop body is commutative, so iteration order
+//	                  cannot leak into observable state.
+//	//pram:globalrand line-scoped; same attachment rule. Permits a use
+//	                  of global math/rand state on that line (tooling
+//	                  and examples only — never simulation packages).
+//	//pram:hotpath    declaration-scoped; in a function's doc comment.
+//	                  Opts the function into hotalloc's zero-alloc
+//	                  source checks.
+//	//pram:coldalloc  line-scoped, inside a //pram:hotpath function.
+//	                  Marks a line as a cold/guarded path that is
+//	                  allowed to allocate (error exits, first-call
+//	                  growth).
+//
+// Every analyzer that honors a suppression also reports the STALE form
+// of it — an annotation with nothing left to suppress — so annotations
+// cannot outlive the code they excused. pramdirective validates the
+// grammar itself (unknown names, mis-scoped wallclock/hotpath).
+const directivePrefix = "//pram:"
+
+// KnownDirectives is the closed set of valid //pram: names.
+var KnownDirectives = map[string]bool{
+	"wallclock":  true,
+	"unordered":  true,
+	"globalrand": true,
+	"hotpath":    true,
+	"coldalloc":  true,
+}
+
+// Directive is one scanned //pram: line in one file.
+type Directive struct {
+	Name string // text between "pram:" and the first space
+	Pos  token.Pos
+	Line int
+	// BeforePackage is true when the directive sits above the package
+	// clause — the only placement where //pram:wallclock is valid.
+	BeforePackage bool
+	// Used is set by the analyzer that consumed the directive as a
+	// suppression; unconsumed suppressions are reported as stale.
+	Used bool
+}
+
+// ScanDirectives returns every //pram: directive in f, in position order.
+func ScanDirectives(fset *token.FileSet, f *ast.File) []*Directive {
+	var out []*Directive
+	for _, g := range f.Comments {
+		for _, c := range g.List {
+			name, ok := parseDirective(c.Text)
+			if !ok {
+				continue
+			}
+			out = append(out, &Directive{
+				Name:          name,
+				Pos:           c.Pos(),
+				Line:          fset.Position(c.Pos()).Line,
+				BeforePackage: c.Pos() < f.Package,
+			})
+		}
+	}
+	return out
+}
+
+// parseDirective extracts the directive name from a comment's text, or
+// reports false if the comment is not a //pram: directive at all.
+func parseDirective(text string) (string, bool) {
+	rest, ok := strings.CutPrefix(text, directivePrefix)
+	if !ok {
+		return "", false
+	}
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest, true
+}
+
+// attachedTo reports whether a line-scoped directive attaches to a
+// statement beginning at stmtLine: trailing on the same line, or alone
+// on the line directly above.
+func (d *Directive) attachedTo(stmtLine int) bool {
+	return d.Line == stmtLine || d.Line == stmtLine-1
+}
+
+// FileWallclock reports whether f carries a file-scoped
+// //pram:wallclock annotation, returning the directive when present.
+func FileWallclock(fset *token.FileSet, f *ast.File) *Directive {
+	for _, d := range ScanDirectives(fset, f) {
+		if d.Name == "wallclock" && d.BeforePackage {
+			return d
+		}
+	}
+	return nil
+}
+
+// IsHotPath reports whether fn's doc comment carries //pram:hotpath.
+func IsHotPath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if name, ok := parseDirective(c.Text); ok && name == "hotpath" {
+			return true
+		}
+	}
+	return false
+}

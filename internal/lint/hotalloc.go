@@ -1,0 +1,347 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc is the source-level complement to the testing.AllocsPerRun
+// suite: the alloc tests prove THAT a hot path stayed at 0 allocs/op,
+// this analyzer points at the LINE that would break it. For every
+// function whose doc comment carries //pram:hotpath it flags the four
+// constructs that have historically defeated the zero-alloc invariant:
+//
+//   - fmt.* calls (Sprintf/Errorf/...): formatting always allocates;
+//   - interface boxing at call sites: passing or converting a
+//     non-pointer-shaped value (string, struct, int, slice header) into
+//     an interface parameter materializes it on the heap;
+//   - closures that capture enclosing variables: the closure and every
+//     captured variable move to the heap;
+//   - append to a slice the function does not own (not rooted in the
+//     receiver or a pointer-typed parameter): growth allocates, and
+//     ownership is what lets the arena pattern amortize it to zero.
+//
+// A line that is deliberately cold — an error exit, first-call growth of
+// a receiver arena — carries //pram:coldalloc with a justification; the
+// analyzer consumes the annotation and reports it when stale.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "flag allocation-causing constructs (fmt, interface boxing, capturing " +
+		"closures, unowned append) inside //pram:hotpath functions",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		var cold []*Directive
+		for _, d := range ScanDirectives(pass.Fset, f) {
+			if d.Name == "coldalloc" {
+				cold = append(cold, d)
+			}
+		}
+		var hotRanges [][2]int // [start line, end line] of hotpath functions
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !IsHotPath(fn) {
+				continue
+			}
+			hotRanges = append(hotRanges, [2]int{
+				pass.Fset.Position(fn.Pos()).Line,
+				pass.Fset.Position(fn.End()).Line,
+			})
+			checkHotFunc(pass, fn, cold)
+		}
+		for _, d := range cold {
+			if d.Used {
+				continue
+			}
+			inHot := false
+			for _, r := range hotRanges {
+				if d.Line >= r[0] && d.Line <= r[1] {
+					inHot = true
+					break
+				}
+			}
+			if inHot {
+				pass.Reportf(d.Pos,
+					"stale //pram:coldalloc: no allocation-causing construct on this or the next line")
+			} else {
+				pass.Reportf(d.Pos,
+					"//pram:coldalloc outside a //pram:hotpath function has no effect; drop it")
+			}
+		}
+	}
+	return nil
+}
+
+// reportHot emits a hotalloc finding unless a //pram:coldalloc directive
+// is attached to its line.
+func reportHot(pass *Pass, cold []*Directive, pos ast.Node, format string, args ...any) {
+	line := pass.Fset.Position(pos.Pos()).Line
+	for _, d := range cold {
+		if d.attachedTo(line) {
+			d.Used = true
+			return
+		}
+	}
+	pass.Reportf(pos.Pos(), format, args...)
+}
+
+func checkHotFunc(pass *Pass, fn *ast.FuncDecl, cold []*Directive) {
+	info := pass.TypesInfo
+
+	// Slice-owner roots: the receiver, plus every pointer-typed
+	// parameter (a *shard-style scratch owner passed explicitly).
+	owners := map[types.Object]bool{}
+	if fn.Recv != nil {
+		for _, field := range fn.Recv.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					owners[obj] = true
+				}
+			}
+		}
+	}
+	if fn.Type.Params != nil {
+		for _, field := range fn.Type.Params.List {
+			for _, name := range field.Names {
+				obj := info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if _, isPtr := obj.Type().Underlying().(*types.Pointer); isPtr {
+					owners[obj] = true
+				}
+			}
+		}
+	}
+	propagateOwnership(info, fn.Body, owners)
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, fn, n, owners, cold)
+		case *ast.FuncLit:
+			checkHotClosure(pass, fn, n, cold)
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr, owners map[types.Object]bool, cold []*Directive) {
+	info := pass.TypesInfo
+	funTV, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+
+	// Conversion to an interface type: T(x) with interface T boxes x.
+	if funTV.IsType() {
+		if len(call.Args) == 1 && types.IsInterface(funTV.Type) {
+			if atv, ok := info.Types[call.Args[0]]; ok && boxes(atv) {
+				reportHot(pass, cold, call,
+					"conversion boxes %s into %s in hot path %s (heap-allocates the value)",
+					atv.Type, funTV.Type, fn.Name.Name)
+			}
+		}
+		return
+	}
+
+	// Builtins: only append needs checking.
+	if funTV.IsBuiltin() {
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+			if !ownedSlice(info, call.Args[0], owners) {
+				reportHot(pass, cold, call,
+					"append to %s in hot path %s: the slice is not rooted in the receiver "+
+						"or a pointer parameter, so growth allocates outside any owned arena",
+					types.ExprString(call.Args[0]), fn.Name.Name)
+			}
+		}
+		return
+	}
+
+	// fmt.* always formats, which always allocates.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if obj, ok := info.Uses[sel.Sel].(*types.Func); ok &&
+			obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			reportHot(pass, cold, call,
+				"fmt.%s in hot path %s: formatting allocates; precompute the message "+
+					"or move it to a cold path", obj.Name(), fn.Name.Name)
+			return
+		}
+	}
+
+	// Interface boxing at the call site: a non-interface argument
+	// passed to an interface-typed parameter.
+	sig, ok := funTV.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var ptype types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through whole, no per-element boxing
+			}
+			ptype = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			ptype = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(ptype) {
+			continue
+		}
+		atv, ok := info.Types[arg]
+		if !ok || !boxes(atv) {
+			continue
+		}
+		reportHot(pass, cold, arg,
+			"argument boxes %s into %s in hot path %s (heap-allocates per call)",
+			atv.Type, ptype, fn.Name.Name)
+	}
+}
+
+// boxes reports whether converting a value of tv's type to an interface
+// allocates: nil and interface values don't, pointer-shaped kinds
+// (pointers, maps, chans, funcs, unsafe.Pointer) fit the interface data
+// word directly, everything else (strings, structs, arrays, slices,
+// numerics beyond the runtime's small-int cache) goes to the heap.
+func boxes(tv types.TypeAndValue) bool {
+	if tv.IsNil() || tv.Type == nil {
+		return false
+	}
+	if types.IsInterface(tv.Type) {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return false
+	}
+	if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+		return false
+	}
+	return true
+}
+
+// propagateOwnership extends the owner set through local aliases, the
+// shape the arena pattern actually takes in the hot loops: hoisting a
+// receiver field into a local (`active := nw.active[:0]`, `sc := &m.sc`)
+// must not launder away its ownership. Any variable assigned from an
+// expression rooted in an owner (through selectors, slicings, &, * and
+// append chains) becomes an owner itself; iterate to a fixpoint so
+// chains of hoists (`sc := &m.sc; recs := sc.recs[:0]`) resolve in any
+// statement order.
+func propagateOwnership(info *types.Info, body ast.Node, owners map[types.Object]bool) {
+	for {
+		grew := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || len(assign.Lhs) != len(assign.Rhs) {
+				return true
+			}
+			for i, lhs := range assign.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil || owners[obj] {
+					continue
+				}
+				if ownedSlice(info, assign.Rhs[i], owners) {
+					owners[obj] = true
+					grew = true
+				}
+			}
+			return true
+		})
+		if !grew {
+			return
+		}
+	}
+}
+
+// ownedSlice reports whether the append destination expr is rooted in
+// the method receiver, a pointer-typed parameter, or a local alias of
+// either (see propagateOwnership) — the ownership shapes under which
+// the arena pattern keeps steady-state growth at zero.
+func ownedSlice(info *types.Info, expr ast.Expr, owners map[types.Object]bool) bool {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.UnaryExpr:
+			if e.Op != token.AND {
+				return false
+			}
+			expr = e.X
+		case *ast.CallExpr:
+			// append(owned, ...) keeps ownership on the result.
+			if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "append" && len(e.Args) > 0 {
+				if tv, ok := info.Types[e.Fun]; ok && tv.IsBuiltin() {
+					expr = e.Args[0]
+					continue
+				}
+			}
+			return false
+		case *ast.Ident:
+			return owners[info.Uses[e]]
+		default:
+			return false
+		}
+	}
+}
+
+// checkHotClosure flags a func literal that captures variables of the
+// enclosing function: captured variables and the closure itself move to
+// the heap.
+func checkHotClosure(pass *Pass, fn *ast.FuncDecl, fl *ast.FuncLit, cold []*Directive) {
+	info := pass.TypesInfo
+	var captured []string
+	seen := map[types.Object]bool{}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		v, isVar := obj.(*types.Var)
+		if !isVar || v.IsField() || seen[obj] {
+			return true
+		}
+		// Captured = declared inside the enclosing function but outside
+		// this literal. Package-level variables are not captures.
+		if v.Pos() >= fn.Pos() && v.Pos() < fn.End() &&
+			!(v.Pos() >= fl.Pos() && v.Pos() < fl.End()) {
+			seen[obj] = true
+			captured = append(captured, v.Name())
+		}
+		return true
+	})
+	if len(captured) == 0 {
+		return
+	}
+	names := captured[0]
+	for _, n := range captured[1:] {
+		names += ", " + n
+	}
+	reportHot(pass, cold, fl,
+		"closure in hot path %s captures %s by reference: the closure and its "+
+			"captures escape to the heap; hoist state into the receiver or pass it explicitly",
+		fn.Name.Name, names)
+}

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named invariant check. It mirrors the shape of
+// golang.org/x/tools/go/analysis.Analyzer, but is self-contained: the
+// container this repo builds in has no module cache beyond the standard
+// library, so the framework is reimplemented here on stdlib go/ast +
+// go/types only. Keeping the same (Name, Doc, Run(*Pass)) contract means
+// the analyzers can migrate to the real multichecker mechanically if
+// x/tools ever becomes available.
+type Analyzer struct {
+	// Name is the short diagnostic prefix, e.g. "nowallclock".
+	Name string
+	// Doc is the one-paragraph invariant statement shown by
+	// `pramvet -help`.
+	Doc string
+	// Run inspects one type-checked package and reports findings via
+	// pass.Report. It must not depend on map iteration order itself:
+	// pramvet sorts diagnostics by position before printing, but
+	// analysistest fixtures compare per-line, so Run should visit files
+	// in pass.Files order.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies every analyzer to every package and returns the combined
+// findings sorted by file, line, column, then analyzer name. An analyzer
+// returning an error aborts the run: analyzer errors are bugs in the
+// analyzer, not findings in the tree.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: analyzing %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// All returns every pramvet analyzer in its canonical order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		NoWallClock,
+		NoMapRange,
+		NoGlobalRand,
+		HotAlloc,
+		PramDirective,
+	}
+}

@@ -1,0 +1,60 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// Each analyzer is exercised against four fixture flavors: a true
+// positive (bad), an annotated suppression (suppressed), a stale or
+// misplaced annotation, and a clean package — plus an out-of-scope run
+// that presents the same kind of code under an import path the
+// analyzer does not check. The import path passed to linttest.Run is
+// what places a fixture in or out of an analyzer's scope, so these
+// tests pin the scope predicates as much as the analyzers.
+
+func TestNoWallClock(t *testing.T) {
+	linttest.Run(t, "nowallclock/bad", "repro/internal/quorum", lint.NoWallClock)
+	linttest.Run(t, "nowallclock/suppressed", "repro/internal/serve", lint.NoWallClock)
+	linttest.Run(t, "nowallclock/stale", "repro/internal/model", lint.NoWallClock)
+	linttest.Run(t, "nowallclock/clean", "repro/internal/mot", lint.NoWallClock)
+	linttest.Run(t, "nowallclock/outofscope", "repro/cmd/tool", lint.NoWallClock)
+}
+
+func TestNoMapRange(t *testing.T) {
+	linttest.Run(t, "nomaprange/bad", "repro/internal/model", lint.NoMapRange)
+	linttest.Run(t, "nomaprange/suppressed", "repro/internal/model", lint.NoMapRange)
+	linttest.Run(t, "nomaprange/stale", "repro/internal/model", lint.NoMapRange)
+	linttest.Run(t, "nomaprange/clean", "repro/internal/model", lint.NoMapRange)
+	linttest.Run(t, "nomaprange/outofscope", "repro/cmd/tool", lint.NoMapRange)
+}
+
+func TestNoGlobalRand(t *testing.T) {
+	linttest.Run(t, "noglobalrand/bad", "repro/internal/workloads", lint.NoGlobalRand)
+	linttest.Run(t, "noglobalrand/suppressed", "repro/internal/workloads", lint.NoGlobalRand)
+	linttest.Run(t, "noglobalrand/stale", "repro/internal/workloads", lint.NoGlobalRand)
+	linttest.Run(t, "noglobalrand/clean", "repro/internal/workloads", lint.NoGlobalRand)
+	linttest.Run(t, "noglobalrand/outofscope", "example.com/outside", lint.NoGlobalRand)
+}
+
+func TestHotAlloc(t *testing.T) {
+	linttest.Run(t, "hotalloc/bad", "repro/internal/quorum", lint.HotAlloc)
+	linttest.Run(t, "hotalloc/suppressed", "repro/internal/quorum", lint.HotAlloc)
+	linttest.Run(t, "hotalloc/stale", "repro/internal/quorum", lint.HotAlloc)
+	linttest.Run(t, "hotalloc/clean", "repro/internal/quorum", lint.HotAlloc)
+}
+
+func TestPramDirective(t *testing.T) {
+	linttest.Run(t, "pramdirective/bad", "repro/internal/quorum", lint.PramDirective)
+	linttest.Run(t, "pramdirective/noeffect", "repro/cmd/tool", lint.PramDirective)
+	linttest.Run(t, "pramdirective/clean", "repro/internal/serve", lint.PramDirective)
+}
+
+// TestHotAllocScopeFree pins that hotalloc is opt-in by annotation, not
+// by package: the same bad fixture flags identically under an import
+// path outside the module.
+func TestHotAllocScopeFree(t *testing.T) {
+	linttest.Run(t, "hotalloc/bad", "example.com/outside", lint.HotAlloc)
+}

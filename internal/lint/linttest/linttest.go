@@ -1,0 +1,213 @@
+// Package linttest is a miniature analysistest: it runs a single
+// lint.Analyzer over a fixture package under internal/lint/testdata and
+// checks its diagnostics against // want "regexp" expectations embedded
+// in the fixture source.
+//
+// The real golang.org/x/tools/go/analysis/analysistest is not available
+// to this module (the tree builds against the standard library only),
+// so this package reimplements the slice of its contract the lint suite
+// needs:
+//
+//   - a fixture directory is one package: every *.go file in it is
+//     parsed and type-checked together, importing only the standard
+//     library (resolved from source via go/importer);
+//   - the package is presented to the analyzer under a CALLER-CHOSEN
+//     import path, which is how tests exercise the scope predicates —
+//     the same fixture can be run as "repro/internal/quorum" (in scope)
+//     and as "example.com/outside" (out of scope);
+//   - a comment containing `// want "re"` expects exactly one
+//     diagnostic on its line whose message matches the regexp; several
+//     quoted regexps in one want comment expect several diagnostics.
+//     The marker may sit in a trailing comment on the offending line or
+//     be embedded at the end of a //pram: directive comment (needed
+//     when the diagnostic points at the directive itself, as stale-
+//     suppression reports do).
+//
+// Unmatched expectations and unexpected diagnostics are both test
+// failures, so fixtures double as a pin on the exact diagnostic text.
+package linttest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// stdImporter resolves standard-library imports from GOROOT source. It
+// is shared (with its FileSet) across all Run calls in a test binary so
+// each std package is type-checked once, not once per fixture.
+var (
+	importerOnce sync.Once
+	sharedFset   *token.FileSet
+	sharedImp    types.Importer
+	importerMu   sync.Mutex
+)
+
+func stdImporter() (*token.FileSet, types.Importer) {
+	importerOnce.Do(func() {
+		sharedFset = token.NewFileSet()
+		sharedImp = importer.ForCompiler(sharedFset, "source", nil)
+	})
+	return sharedFset, sharedImp
+}
+
+// expectation is one // want regexp pinned to a file line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run type-checks the fixture package in dir (relative to the caller's
+// testdata/src directory, or absolute), presents it to analyzer a under
+// importPath, and compares diagnostics against the fixture's // want
+// expectations.
+func Run(t *testing.T, dir, importPath string, a *lint.Analyzer) {
+	t.Helper()
+	if !filepath.IsAbs(dir) {
+		dir = filepath.Join("testdata", "src", dir)
+	}
+	pkg, err := loadFixture(dir, importPath)
+	if err != nil {
+		t.Fatalf("linttest: loading fixture %s: %v", dir, err)
+	}
+	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("linttest: running %s on %s: %v", a.Name, dir, err)
+	}
+
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Fatalf("linttest: parsing // want comments in %s: %v", dir, err)
+	}
+
+	for _, d := range diags {
+		if !claimWant(wants, d) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s",
+				filepath.Base(d.Pos.Filename), d.Pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none",
+				w.file, w.line, w.re)
+		}
+	}
+}
+
+// claimWant marks the first unmatched expectation on the diagnostic's
+// line whose regexp matches, and reports whether one was found.
+func claimWant(wants []*expectation, d lint.Diagnostic) bool {
+	base := filepath.Base(d.Pos.Filename)
+	for _, w := range wants {
+		if w.matched || w.file != base || w.line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// loadFixture parses and type-checks every *.go file in dir as one
+// package with the given import path. Fixture files may import only
+// the standard library.
+func loadFixture(dir, importPath string) (*lint.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+
+	fset, imp := stdImporter()
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: imp}
+	// The source importer mutates shared caches; serialize in case the
+	// test binary runs fixtures in parallel.
+	importerMu.Lock()
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	importerMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return &lint.Package{
+		Path:  importPath,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// wantMarker locates the expectation list inside a comment's text.
+var wantMarker = regexp.MustCompile(`// want (.*)$`)
+
+// quoted matches one double-quoted Go string literal.
+var quoted = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// collectWants scans every comment in the fixture for want markers.
+func collectWants(pkg *lint.Package) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantMarker.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range quoted.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, err
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, err
+					}
+					wants = append(wants, &expectation{
+						file: filepath.Base(pos.Filename),
+						line: pos.Line,
+						re:   re,
+					})
+				}
+			}
+		}
+	}
+	return wants, nil
+}

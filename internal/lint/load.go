@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	ImportMap  map[string]string
+	Error      *listPkgError
+	DepsErrors []*listPkgError
+}
+
+type listPkgError struct {
+	Err string
+}
+
+// LoadPackages loads and type-checks the packages matching patterns
+// (resolved relative to dir, which must sit inside the module), plus
+// their full transitive dependency closure, entirely from source. It
+// shells out to `go list -json -deps` for build-constraint-correct file
+// lists and dependency order, then runs go/types bottom-up with an
+// importer backed by the already-checked packages — the stdlib-only
+// replacement for golang.org/x/tools/go/packages, which this container
+// cannot fetch.
+//
+// Only non-test GoFiles are analyzed: the determinism and zero-alloc
+// invariants are properties of shipping code; tests exercise them but
+// are free to range maps and read clocks while doing so.
+//
+// CGO_ENABLED=0 is forced so cgo-flavored files (import "C") never
+// reach the type checker and std packages resolve to their pure-Go
+// fallbacks.
+func LoadPackages(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	var order []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		order = append(order, lp)
+	}
+
+	fset := token.NewFileSet()
+	checked := map[string]*types.Package{"unsafe": types.Unsafe}
+	imp := &mapImporter{checked: checked}
+	var targets []*Package
+
+	for _, lp := range order {
+		if lp.ImportPath == "unsafe" {
+			continue
+		}
+		target := !lp.Standard && !lp.DepOnly
+		mode := parser.SkipObjectResolution
+		if target {
+			mode |= parser.ParseComments
+		}
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, mode)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %v", filepath.Join(lp.Dir, name), err)
+			}
+			files = append(files, f)
+		}
+		var info *types.Info
+		if target {
+			info = &types.Info{
+				Types: map[ast.Expr]types.TypeAndValue{},
+				Defs:  map[*ast.Ident]types.Object{},
+				Uses:  map[*ast.Ident]types.Object{},
+			}
+		}
+		imp.importMap = lp.ImportMap
+		var firstErr error
+		conf := types.Config{
+			Importer: imp,
+			Error: func(err error) {
+				if firstErr == nil {
+					firstErr = err
+				}
+			},
+		}
+		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if firstErr == nil {
+			firstErr = err
+		}
+		if firstErr != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, firstErr)
+		}
+		checked[lp.ImportPath] = tpkg
+		if target {
+			targets = append(targets, &Package{
+				Path:  lp.ImportPath,
+				Fset:  fset,
+				Files: files,
+				Types: tpkg,
+				Info:  info,
+			})
+		}
+	}
+	return targets, nil
+}
+
+// mapImporter resolves imports against the packages checked so far.
+// `go list -deps` guarantees dependency order, so a miss is a loader
+// bug, not a user error.
+type mapImporter struct {
+	checked   map[string]*types.Package
+	importMap map[string]string // per-package vendor/test remapping
+}
+
+func (m *mapImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	if pkg, ok := m.checked[path]; ok {
+		return pkg, nil
+	}
+	return nil, errors.New("import " + path + " not in dependency closure")
+}

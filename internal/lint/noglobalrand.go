@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randConstructors are the math/rand (and v2) package-level functions
+// that BUILD explicitly seeded generators rather than touching the
+// shared global state. These are the approved path: randomness must
+// flow through a *rand.Rand (or PCG/ChaCha8 source) whose seed is part
+// of the run's configuration, so per-subsystem RNG partitioning stays
+// possible and reseeding one subsystem cannot perturb another.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// NoGlobalRand forbids the global math/rand state everywhere in this
+// module (internal/, cmd/, examples/, the root package). The global
+// functions (rand.Intn, rand.Perm, rand.Shuffle, ...) share one
+// process-wide source: any call order perturbation — a new goroutine, a
+// reordered init, a test running first — changes every subsequent draw,
+// which breaks (seed → identical run) reproducibility in a way no seed
+// threading can repair. Methods on an explicit *rand.Rand are always
+// fine. A line that genuinely wants ambient randomness (none does
+// today) can carry //pram:globalrand with a justification.
+var NoGlobalRand = &Analyzer{
+	Name: "noglobalrand",
+	Doc: "forbid package-level math/rand functions (global shared state); " +
+		"thread an explicitly seeded *rand.Rand instead",
+	Run: runNoGlobalRand,
+}
+
+func runNoGlobalRand(pass *Pass) error {
+	if !IsModulePackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		var allowed []*Directive
+		for _, d := range ScanDirectives(pass.Fset, f) {
+			if d.Name == "globalrand" {
+				allowed = append(allowed, d)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil {
+				return true
+			}
+			if p := obj.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+				return true
+			}
+			if obj.Type().(*types.Signature).Recv() != nil || randConstructors[obj.Name()] {
+				return true
+			}
+			line := pass.Fset.Position(sel.Pos()).Line
+			for _, d := range allowed {
+				if d.attachedTo(line) {
+					d.Used = true
+					return true
+				}
+			}
+			pass.Reportf(sel.Pos(),
+				"rand.%s draws from the process-global source; thread a seeded "+
+					"*rand.Rand through the call path instead (//pram:globalrand to "+
+					"override outside simulation code)", obj.Name())
+			return true
+		})
+		for _, d := range allowed {
+			if !d.Used {
+				pass.Reportf(d.Pos,
+					"stale //pram:globalrand: no global math/rand use on this or the next line")
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoMapRange enforces the classic bit-for-bit killer: ranging over a
+// map in a deterministic package. Go randomizes map iteration order per
+// run, so any map range whose body's effect depends on visit order
+// (appending, emitting, first-wins assignment, accumulating
+// order-sensitive floats) silently breaks the byte-identical-report
+// invariant. A range whose body is genuinely commutative (set
+// membership counting, max/min over values, inserting into another
+// keyed structure) is annotated //pram:unordered on or directly above
+// the range statement; the analyzer reports stale annotations so the
+// assertion cannot outlive the loop.
+//
+// Ranges that bind no iteration variables (`for range m { ... }`) are
+// exempt: with no key or value in scope the body cannot observe order.
+var NoMapRange = &Analyzer{
+	Name: "nomaprange",
+	Doc: "forbid range-over-map in deterministic packages unless annotated " +
+		"//pram:unordered (map iteration order is randomized per run)",
+	Run: runNoMapRange,
+}
+
+func runNoMapRange(pass *Pass) error {
+	if !IsDeterministicPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		var unordered []*Directive
+		for _, d := range ScanDirectives(pass.Fset, f) {
+			if d.Name == "unordered" {
+				unordered = append(unordered, d)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if rng.Key == nil && rng.Value == nil {
+				return true
+			}
+			line := pass.Fset.Position(rng.Pos()).Line
+			for _, d := range unordered {
+				if d.attachedTo(line) {
+					d.Used = true
+					return true
+				}
+			}
+			pass.Reportf(rng.Pos(),
+				"range over map %s in deterministic package %s: iteration order is "+
+					"randomized per run; iterate a sorted key slice, or annotate "+
+					"//pram:unordered if the body is commutative", types.ExprString(rng.X),
+				pass.Pkg.Path())
+			return true
+		})
+		for _, d := range unordered {
+			if !d.Used {
+				pass.Reportf(d.Pos,
+					"stale //pram:unordered: no map range on this or the next line")
+			}
+		}
+	}
+	return nil
+}

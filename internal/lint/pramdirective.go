@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// PramDirective validates the //pram: annotation grammar itself, so a
+// typo'd or misplaced annotation fails CI instead of silently
+// suppressing nothing: unknown directive names, //pram:wallclock not in
+// file-scoped position (above the package clause), //pram:wallclock in
+// a package that is not under the virtual-time invariant, and
+// //pram:hotpath outside a function's doc comment.
+var PramDirective = &Analyzer{
+	Name: "pramdirective",
+	Doc: "validate //pram: annotation grammar: known names, file-scoped wallclock, " +
+		"hotpath on function doc comments",
+	Run: runPramDirective,
+}
+
+func runPramDirective(pass *Pass) error {
+	for _, f := range pass.Files {
+		// Doc-comment spans where //pram:hotpath is legal.
+		type span struct{ lo, hi int }
+		var docSpans []span
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Doc != nil {
+				docSpans = append(docSpans, span{int(fn.Doc.Pos()), int(fn.Doc.End())})
+			}
+		}
+		for _, d := range ScanDirectives(pass.Fset, f) {
+			switch d.Name {
+			case "wallclock":
+				if !d.BeforePackage {
+					pass.Reportf(d.Pos,
+						"//pram:wallclock is file-scoped: place it above the package clause "+
+							"(it exempts the whole file, so it must be visible at the top)")
+				} else if !IsVirtualTimePackage(pass.Pkg.Path()) {
+					pass.Reportf(d.Pos,
+						"//pram:wallclock has no effect in %s: only virtual-time packages "+
+							"(model, quorum, mot, replay, serve, experiments) are checked",
+						pass.Pkg.Path())
+				}
+			case "hotpath":
+				inDoc := false
+				for _, s := range docSpans {
+					if int(d.Pos) >= s.lo && int(d.Pos) < s.hi {
+						inDoc = true
+						break
+					}
+				}
+				if !inDoc {
+					pass.Reportf(d.Pos,
+						"//pram:hotpath is declaration-scoped: place it in the doc comment "+
+							"of the function it opts into hotalloc")
+				}
+			case "unordered":
+				if !IsDeterministicPackage(pass.Pkg.Path()) {
+					pass.Reportf(d.Pos,
+						"//pram:unordered has no effect in %s: only deterministic packages "+
+							"(root + internal/...) are checked by nomaprange", pass.Pkg.Path())
+				}
+			case "globalrand", "coldalloc":
+				// Scope-wide analyzers; their consumers report staleness.
+			default:
+				pass.Reportf(d.Pos,
+					"unknown directive //pram:%s (known: wallclock, unordered, globalrand, "+
+						"hotpath, coldalloc)", d.Name)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package lint
+
+import "testing"
+
+func TestScopePredicates(t *testing.T) {
+	cases := []struct {
+		path                   string
+		virtual, deterministic bool
+		module                 bool
+	}{
+		{"repro", false, true, true},
+		{"repro/internal/model", true, true, true},
+		{"repro/internal/quorum", true, true, true},
+		{"repro/internal/mot", true, true, true},
+		{"repro/internal/replay", true, true, true},
+		{"repro/internal/serve", true, true, true},
+		{"repro/internal/experiments", true, true, true},
+		{"repro/internal/memmap", false, true, true},
+		{"repro/internal/workloads", false, true, true},
+		{"repro/cmd/pramvet", false, false, true},
+		{"repro/examples/demo", false, false, true},
+		// A foreign module with coincidentally matching suffixes must
+		// never inherit this repo's invariants.
+		{"example.com/quorum", false, false, false},
+		{"example.com/internal/quorum", false, false, false},
+		{"reprox/internal/model", false, false, false},
+	}
+	for _, c := range cases {
+		if got := IsVirtualTimePackage(c.path); got != c.virtual {
+			t.Errorf("IsVirtualTimePackage(%q) = %v, want %v", c.path, got, c.virtual)
+		}
+		if got := IsDeterministicPackage(c.path); got != c.deterministic {
+			t.Errorf("IsDeterministicPackage(%q) = %v, want %v", c.path, got, c.deterministic)
+		}
+		if got := IsModulePackage(c.path); got != c.module {
+			t.Errorf("IsModulePackage(%q) = %v, want %v", c.path, got, c.module)
+		}
+	}
+}
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text string
+		name string
+		ok   bool
+	}{
+		{"//pram:unordered addition commutes", "unordered", true},
+		{"//pram:wallclock", "wallclock", true},
+		{"//pram:hotpath\tjustification after a tab", "hotpath", true},
+		{"// pram:unordered spaced prefix is prose, not a directive", "", false},
+		{"//go:noinline", "", false},
+		{"// plain comment", "", false},
+	}
+	for _, c := range cases {
+		name, ok := parseDirective(c.text)
+		if ok != c.ok || (ok && name != c.name) {
+			t.Errorf("parseDirective(%q) = %q, %v; want %q, %v", c.text, name, ok, c.name, c.ok)
+		}
+	}
+}
+
+func TestDirectiveAttachment(t *testing.T) {
+	d := &Directive{Line: 10}
+	for line, want := range map[int]bool{10: true, 11: true, 9: false, 12: false} {
+		if got := d.attachedTo(line); got != want {
+			t.Errorf("directive on line 10: attachedTo(%d) = %v, want %v", line, got, want)
+		}
+	}
+}

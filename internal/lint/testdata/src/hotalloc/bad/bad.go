@@ -1,0 +1,31 @@
+// Fixture: every construct hotalloc flags, inside one //pram:hotpath
+// function. Run under "repro/internal/quorum".
+package fixture
+
+import "fmt"
+
+type sim struct {
+	buf  []int
+	name string
+}
+
+type sink interface{ accept(any) }
+
+// step is the per-round hot loop.
+//
+//pram:hotpath
+func (s *sim) step(n int, out sink, scratch []int) string {
+	s.buf = append(s.buf, n)     // receiver-owned arena: fine
+	scratch = append(scratch, n) // want "append to scratch in hot path step"
+	out.accept(n)                // want "argument boxes int into any in hot path step"
+	f := func() int { return n } // want "closure in hot path step captures n"
+	_ = f()
+	return fmt.Sprintf("%d", n) // want "fmt\\.Sprintf in hot path step: formatting allocates"
+}
+
+// label boxes its result on every call.
+//
+//pram:hotpath
+func (s *sim) label() any {
+	return any(s.name) // want "conversion boxes string into any in hot path label"
+}

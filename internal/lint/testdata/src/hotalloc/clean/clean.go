@@ -1,0 +1,21 @@
+// Fixture: a hot function whose appends are all rooted in owned
+// arenas (receiver and pointer parameter), including a two-step alias
+// chain. Run under "repro/internal/quorum".
+package fixture
+
+type arena struct{ buf, aux []int }
+
+type shard struct{ sc arena }
+
+// fill is hot; every append lands in an owned arena.
+//
+//pram:hotpath
+func (s *shard) fill(a *arena, n int) {
+	sc := &s.sc
+	buf := sc.buf[:0]
+	for i := 0; i < n; i++ {
+		buf = append(buf, i)
+		a.aux = append(a.aux, i*i)
+	}
+	sc.buf = buf
+}

@@ -1,0 +1,17 @@
+// Fixture: //pram:coldalloc annotations that excuse nothing — one
+// inside a hot function (stale), one outside any hot function
+// (no effect). Run under "repro/internal/quorum".
+package fixture
+
+// tick is hot but allocation-free.
+//
+//pram:hotpath
+func tick(n int) int {
+	//pram:coldalloc nothing on the next line allocates // want "stale //pram:coldalloc"
+	return n + 1
+}
+
+func cold(n int) int {
+	//pram:coldalloc not in a hot function at all // want "//pram:coldalloc outside a //pram:hotpath function has no effect"
+	return n + 2
+}

@@ -1,0 +1,28 @@
+// Fixture: the arena-alias idiom keeps ownership through local hoists,
+// a justified //pram:coldalloc excuses the panic guard, and fmt is
+// unrestricted outside hot paths. Run under "repro/internal/quorum".
+package fixture
+
+import "fmt"
+
+type ring struct {
+	recs []int
+}
+
+// drain is hot; its contract-violation guard is cold by definition.
+//
+//pram:hotpath
+func (r *ring) drain(n int) {
+	if n < 0 {
+		//pram:coldalloc caller-contract panic guard, never taken in steady state
+		panic(fmt.Sprintf("ring.drain: negative count %d", n))
+	}
+	recs := r.recs[:0] // alias hoist: ownership propagates from the receiver
+	for i := 0; i < n; i++ {
+		recs = append(recs, i)
+	}
+	r.recs = recs
+}
+
+// report is not annotated hot: formatting is unrestricted here.
+func (r *ring) report() string { return fmt.Sprintf("%v", r.recs) }

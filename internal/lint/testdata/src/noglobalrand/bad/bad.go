@@ -1,0 +1,20 @@
+// Fixture: package-level math/rand draws from the shared global
+// source. Run under "repro/internal/workloads".
+package fixture
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+func Draw() (int, int) {
+	a := rand.Intn(10)                 // want "rand\\.Intn draws from the process-global source"
+	b := randv2.IntN(10)               // want "rand\\.IntN draws from the process-global source"
+	rand.Shuffle(2, func(i, j int) {}) // want "rand\\.Shuffle draws from the process-global source"
+	return a, b
+}
+
+func Seeded() int {
+	r := rand.New(rand.NewSource(1)) // constructors are the approved path
+	return r.Intn(10)                // methods on an explicit *rand.Rand are fine
+}

@@ -1,0 +1,13 @@
+// Fixture: randomness threaded through an explicitly seeded *rand.Rand.
+// Run under "repro/internal/workloads".
+package fixture
+
+import "math/rand"
+
+type gen struct{ r *rand.Rand }
+
+func newGen(seed int64) *gen {
+	return &gen{r: rand.New(rand.NewSource(seed))}
+}
+
+func (g *gen) Next() int { return g.r.Intn(100) }

@@ -1,0 +1,7 @@
+// Fixture: the global source is unchecked outside this module.
+// Run under "example.com/outside".
+package fixture
+
+import "math/rand"
+
+func Roll() int { return rand.Intn(6) }

@@ -1,0 +1,6 @@
+// Fixture: a //pram:globalrand annotation with nothing to excuse.
+// Run under "repro/internal/workloads".
+package fixture
+
+//pram:globalrand left behind after the rand call moved // want "stale //pram:globalrand"
+func Nop() int { return 4 }

@@ -1,0 +1,10 @@
+// Fixture: a justified //pram:globalrand line suppression.
+// Run under "repro/internal/workloads".
+package fixture
+
+import "math/rand"
+
+func Jitter() int {
+	//pram:globalrand demo-only jitter; determinism not required here
+	return rand.Intn(3)
+}

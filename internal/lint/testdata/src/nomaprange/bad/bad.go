@@ -1,0 +1,15 @@
+// Fixture: order-sensitive map range in a deterministic package.
+// Run under "repro/internal/model".
+package fixture
+
+func Keys(m map[int]string) []int {
+	var out []int
+	for k := range m { // want "range over map m in deterministic package"
+		out = append(out, k)
+	}
+	n := 0
+	for range m { // exempt: no iteration variables, order unobservable
+		n++
+	}
+	return out[:min(len(out), n)]
+}

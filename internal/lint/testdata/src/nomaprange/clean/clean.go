@@ -1,0 +1,19 @@
+// Fixture: the sorted-key idiom that replaces a map range.
+// Run under "repro/internal/model".
+package fixture
+
+import "sort"
+
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for range m { // keyless: only counts, order unobservable
+		keys = append(keys, "")
+	}
+	keys = keys[:0]
+	//pram:unordered key collection: the sort below fixes the order
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

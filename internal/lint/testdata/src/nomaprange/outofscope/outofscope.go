@@ -1,0 +1,11 @@
+// Fixture: map ranges are unchecked outside the deterministic set.
+// Run under "repro/cmd/tool".
+package fixture
+
+func Dump(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

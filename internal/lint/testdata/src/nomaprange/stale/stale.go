@@ -1,0 +1,12 @@
+// Fixture: a //pram:unordered annotation with no map range to excuse.
+// Run under "repro/internal/model".
+package fixture
+
+func Sum(vals []int) int {
+	total := 0
+	//pram:unordered left over from a refactor // want "stale //pram:unordered"
+	for _, v := range vals {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,15 @@
+// Fixture: commutative map ranges carrying //pram:unordered, in both
+// attachment positions. Run under "repro/internal/model".
+package fixture
+
+func Sum(m map[int]int) int {
+	total := 0
+	//pram:unordered integer addition commutes; order cannot leak
+	for _, v := range m {
+		total += v
+	}
+	for _, v := range m { //pram:unordered integer addition commutes
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,11 @@
+// Fixture: wall-clock reads in a virtual-time package, no exemption.
+// Run under "repro/internal/quorum".
+package fixture
+
+import "time"
+
+func Tick() time.Duration {
+	start := time.Now()          // want "time\\.Now reads the wall clock in virtual-time package"
+	time.Sleep(time.Millisecond) // want "time\\.Sleep reads the wall clock"
+	return time.Since(start)     // want "time\\.Since reads the wall clock"
+}

@@ -1,0 +1,9 @@
+// Fixture: time.Duration arithmetic is legal; only the ambient clock
+// is banned. Run under "repro/internal/mot".
+package fixture
+
+import "time"
+
+func Budget(rounds int) time.Duration {
+	return time.Duration(rounds) * 5 * time.Millisecond
+}

@@ -1,0 +1,7 @@
+// Fixture: wall-clock reads are fine outside the virtual-time
+// packages. Run under "repro/cmd/tool".
+package fixture
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }

@@ -1,0 +1,7 @@
+// Fixture: a //pram:wallclock exemption with nothing left to exempt.
+// Run under "repro/internal/model".
+//
+//pram:wallclock nothing in this file reads the clock any more // want "stale //pram:wallclock"
+package fixture
+
+func Nop() int { return 1 }

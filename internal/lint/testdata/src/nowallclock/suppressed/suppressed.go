@@ -1,0 +1,9 @@
+// Fixture: wall-clock use exempted by the file-scoped annotation.
+// Run under "repro/internal/serve".
+//
+//pram:wallclock HTTP front end: ticks are translated to virtual rounds
+package fixture
+
+import "time"
+
+func Poll() time.Time { return time.Now() }

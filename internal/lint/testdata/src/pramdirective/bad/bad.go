@@ -1,0 +1,14 @@
+// Fixture: grammar violations — misplaced wallclock, unknown name,
+// hotpath outside a function doc comment. Run under
+// "repro/internal/quorum".
+package fixture
+
+//pram:wallclock must sit above the package clause // want "//pram:wallclock is file-scoped"
+
+//pram:hotloop no such directive // want "unknown directive //pram:hotloop"
+var x = 1
+
+func f() int {
+	//pram:hotpath inside a body, not a doc comment // want "//pram:hotpath is declaration-scoped"
+	return x
+}

@@ -1,0 +1,22 @@
+// Fixture: every directive in its legal position and scope.
+// Run under "repro/internal/serve".
+//
+//pram:wallclock measurement file: clock reads never touch sim state
+package fixture
+
+import "math/rand"
+
+// hot is the per-round loop.
+//
+//pram:hotpath
+func hot(r *rand.Rand, m map[int]int) int {
+	t := 0
+	//pram:unordered integer addition commutes
+	for _, v := range m {
+		t += v
+	}
+	//pram:globalrand consumed by noglobalrand, not pramdirective
+	t += r.Intn(3)
+	//pram:coldalloc consumed by hotalloc, not pramdirective
+	return t
+}

@@ -1,0 +1,14 @@
+// Fixture: correctly placed annotations in a package none of their
+// analyzers check. Run under "repro/cmd/tool".
+//
+//pram:wallclock presentation layer // want "//pram:wallclock has no effect"
+package fixture
+
+func Total(m map[int]int) int {
+	t := 0
+	//pram:unordered nomaprange does not check cmd/ // want "//pram:unordered has no effect"
+	for _, v := range m {
+		t += v
+	}
+	return t
+}

@@ -127,6 +127,7 @@ func (c *ConflictChecker) ResolveStepInto(values []Word, store Store, batch Batc
 			}
 		}
 	}
+	//pram:unordered one winning write per distinct address: disjoint Sets commute
 	for a, w := range writers {
 		store.Set(a, w.val)
 	}

@@ -253,6 +253,8 @@ func b2i(b bool) int32 {
 // injected at its processor's root on cycle one of the phase; the phase
 // lasts until every packet has either returned (granted) or collided
 // (refused). The phase cost is the makespan in cycles.
+//
+//pram:hotpath
 func (nw *Network) RoutePhase(attempts []quorum.Attempt) ([]bool, int64, int) {
 	if cap(nw.granted) < len(attempts) {
 		nw.granted = make([]bool, len(attempts))
@@ -346,6 +348,7 @@ func (nw *Network) RoutePhase(attempts []quorum.Attempt) ([]bool, int64, int) {
 		for i := range attempts {
 			order = append(order, int32(i))
 		}
+		//pram:coldalloc non-escaping comparator: stays on the stack (E5 benches pin RoutePhase at 0 allocs/op)
 		slices.SortFunc(order, func(x, y int32) int {
 			if pktPrio[x] != pktPrio[y] {
 				return cmp.Compare(pktPrio[x], pktPrio[y])
@@ -498,6 +501,8 @@ func (nw *Network) RoutePhase(attempts []quorum.Attempt) ([]bool, int64, int) {
 // touches (edge claims, per-cycle counters) lives in sh, and all
 // per-module state is indexed by phase-local module ids that the partition
 // confines to a single component.
+//
+//pram:hotpath
 func (nw *Network) advance(sh *shard, act []int32, start int64) {
 	// Hoist every hot field into locals: the cycle loop must not juggle
 	// two indirection roots (nw and sh), or register spills eat the gains

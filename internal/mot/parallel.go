@@ -274,6 +274,8 @@ func (p *motPool) shutdown() {
 // count. Both routers call this: the serial one to peel off singleton
 // components analytically, the parallel one to additionally dispatch the
 // contended components to the worker pool.
+//
+//pram:hotpath
 func (nw *Network) partition(active []int32) int {
 	side := nw.topo.Side
 	// --- Union-find over 2·side tree nodes + modCount module nodes. ---
@@ -319,6 +321,8 @@ func (nw *Network) partition(active []int32) int {
 // to the worker pool, and merge the shard accumulators. Falls back to the
 // serial loop when everything is one component; workers resolve singleton
 // components analytically (see runShard) just like the serial router.
+//
+//pram:hotpath
 func (nw *Network) routeParallel(active []int32, start int64) int64 {
 	ncomp := nw.partition(active)
 	compCnt, compOf := nw.compCnt, nw.compOf

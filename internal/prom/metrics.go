@@ -103,6 +103,7 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	// still render — as untyped families, sorted by name — rather than
 	// silently vanishing from the exposition.
 	var extras []string
+	//pram:unordered key collection; extras is sorted before rendering
 	for name := range byName {
 		if !described[name] && len(byName[name]) > 0 {
 			extras = append(extras, name)

@@ -74,6 +74,7 @@ func (d Directory) LookupCost(batch model.Batch) int {
 		perModule[h][r.Addr] = true
 	}
 	maxLoad := 0
+	//pram:unordered max over per-module set sizes commutes
 	for _, vars := range perModule {
 		if len(vars) > maxLoad {
 			maxLoad = len(vars)

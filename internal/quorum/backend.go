@@ -149,6 +149,8 @@ func (m *Machine) Params() string { return m.store.Map().P.String() }
 func (m *Machine) Redundancy() int { return m.store.Map().R() }
 
 // ExecuteStep implements model.Backend.
+//
+//pram:hotpath
 func (m *Machine) ExecuteStep(batch model.Batch) model.StepReport {
 	sc := &m.sc
 

@@ -196,12 +196,15 @@ func (e *Engine) ExecuteBatch(reqs []Request) Result {
 // run executes one batch into the given result buffers, appending the live
 // trace to the shared arena accumulator (so the two-stage schedule's stages
 // land in one contiguous trace).
+//
+//pram:hotpath
 func (e *Engine) run(reqs []Request, values []model.Word, satisfied []bool) Result {
 	res := Result{Values: values, Satisfied: satisfied}
 	if len(reqs) == 0 {
 		return res
 	}
 	if e.r > 64 {
+		//pram:coldalloc guarded construction-error panic, unreachable in steady state
 		panic(fmt.Sprintf("quorum.Engine: redundancy %d exceeds bitmask width", e.r))
 	}
 	now := e.store.StampBatch(reqs)

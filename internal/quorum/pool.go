@@ -357,8 +357,11 @@ func (p *Pool) SetStepSink(sink StepSink) {
 // (valid until that shard's next step); the aggregate's Values alias a
 // pool-owned buffer (valid until the next ExecuteSteps). Copy them to keep
 // them.
+//
+//pram:hotpath
 func (p *Pool) ExecuteSteps(batches []model.Batch) (model.StepReport, []model.StepReport) {
 	if len(batches) != p.k {
+		//pram:coldalloc caller-contract panic guard, never taken in steady state
 		panic(fmt.Sprintf("quorum.Pool: %d batches for %d engines", len(batches), p.k))
 	}
 	ncomp := p.partition(batches)
@@ -390,8 +393,11 @@ type DedupStep struct {
 // variables the original batches touched, so the components match the
 // recorded run's) and executes each shard via ExecuteDedupStep. Aliasing
 // and determinism contracts are ExecuteSteps'; step sinks are NOT invoked.
+//
+//pram:hotpath
 func (p *Pool) ExecuteDedupSteps(steps []DedupStep) (model.StepReport, []model.StepReport) {
 	if len(steps) != p.k {
+		//pram:coldalloc caller-contract panic guard, never taken in steady state
 		panic(fmt.Sprintf("quorum.Pool: %d dedup steps for %d engines", len(steps), p.k))
 	}
 	ncomp := p.partitionDedup(steps)

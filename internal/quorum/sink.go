@@ -81,8 +81,11 @@ func (m *Machine) buildReaderLists() ([]int32, []int32) {
 // fanned out to its representative processor only. The returned report
 // aliases machine scratch like ExecuteStep's. The sink, if any, is NOT
 // invoked.
+//
+//pram:hotpath
 func (m *Machine) ExecuteDedupStep(reads []Request, readerOff, readerProcs []int32, writes []Request) model.StepReport {
 	if readerOff != nil && len(readerOff) != len(reads)+1 {
+		//pram:coldalloc caller-contract panic guard, never taken in steady state
 		panic(fmt.Sprintf("quorum.ExecuteDedupStep: %d reader offsets for %d reads", len(readerOff), len(reads)))
 	}
 	sc := &m.sc

@@ -125,6 +125,23 @@
 // the serving layer's degradation signal), and Close retires the executor
 // goroutines eagerly for graceful shutdown — the pool stays usable and
 // restarts them lazily if stepped again.
+//
+// # Invariants are machine-enforced
+//
+// The two package-wide contracts above are not convention: the pramvet
+// analyzer suite (repro/internal/lint, run over the tree by CI) rejects
+// the source constructs that break them. quorum is a virtual-time
+// package — nothing here may read the wall clock (nowallclock), range
+// over a map without a commutativity annotation (nomaprange), or touch
+// global math/rand state (noglobalrand) — and the steady-state hot
+// path is annotated //pram:hotpath (Engine.run, Machine.ExecuteStep,
+// Machine.ExecuteDedupStep, Pool.ExecuteSteps/ExecuteDedupSteps), so
+// hotalloc flags any fmt call, interface boxing, capturing closure or
+// unowned append added to it before the AllocsPerRun tests ever run.
+// Deliberately cold lines inside those functions (contract-violation
+// panic guards) carry //pram:coldalloc with a justification; the
+// analyzers report stale annotations, so the escape hatches cannot
+// outlive the code they excuse.
 package quorum
 
 import (

@@ -113,6 +113,8 @@ func (r *Reader) readPreamble() error {
 func (r *Reader) Config() Config { return r.cfg }
 
 // readFrame reads one raw frame into the reusable buffer and checks its CRC.
+//
+//pram:hotpath
 func (r *Reader) readFrame() (byte, []byte, error) {
 	kind, err := r.br.ReadByte()
 	if err != nil {
@@ -126,6 +128,7 @@ func (r *Reader) readFrame() (byte, []byte, error) {
 		return 0, nil, corruptf("frame length: %v", err)
 	}
 	if length > maxFramePayload {
+		//pram:coldalloc corrupt-input error exit
 		return 0, nil, corruptf("frame payload %d exceeds cap %d", length, maxFramePayload)
 	}
 	if uint64(cap(r.buf)) < length {
@@ -141,6 +144,7 @@ func (r *Reader) readFrame() (byte, []byte, error) {
 	crc := &r.crcBuf
 	want := uint32(crc[0]) | uint32(crc[1])<<8 | uint32(crc[2])<<16 | uint32(crc[3])<<24
 	if got := frameCRC(kind, buf); got != want {
+		//pram:coldalloc corrupt-input error exit
 		return 0, nil, corruptf("frame checksum mismatch (kind %#x, %d bytes)", kind, length)
 	}
 	return kind, buf, nil
@@ -149,6 +153,8 @@ func (r *Reader) readFrame() (byte, []byte, error) {
 // Next returns the next frame. After the eof frame has been returned, Next
 // reports io.EOF; a stream that ends without one reports ErrTruncated.
 // Errors are sticky.
+//
+//pram:hotpath
 func (r *Reader) Next() (*Frame, error) {
 	if r.err != nil {
 		return nil, r.err
@@ -176,6 +182,7 @@ func (r *Reader) Next() (*Frame, error) {
 		err = r.decodeStepFrame(payload, f)
 	case kindBarrier:
 		if len(payload) != 0 {
+			//pram:coldalloc corrupt-input error exit
 			err = corruptf("barrier frame carries %d payload bytes", len(payload))
 		}
 	case kindEOF:
@@ -188,6 +195,7 @@ func (r *Reader) Next() (*Frame, error) {
 	case kindHeader:
 		err = corruptf("duplicate header frame")
 	default:
+		//pram:coldalloc corrupt-input error exit
 		err = corruptf("unknown frame kind %#x", kind)
 	}
 	if err != nil {
@@ -223,6 +231,8 @@ func (r *Reader) decodeLoadFrame(payload []byte, f *Frame) error {
 
 // decodeStepFrame parses and validates a step frame: every processor id in
 // [0, Procs), every variable id in [0, mem), reader runs ascending.
+//
+//pram:hotpath
 func (r *Reader) decodeStepFrame(payload []byte, f *Frame) error {
 	d := &decoder{buf: payload}
 	f.Lane = int(d.uvarint())
@@ -232,6 +242,7 @@ func (r *Reader) decodeStepFrame(payload []byte, f *Frame) error {
 		return d.err
 	}
 	if f.Lane < 0 || f.Lane >= r.cfg.Lanes { // < 0: uvarint wrapped the int cast
+		//pram:coldalloc corrupt-input error exit
 		return corruptf("step frame lane %d outside [0,%d)", f.Lane, r.cfg.Lanes)
 	}
 	procs := r.cfg.Procs
@@ -247,9 +258,11 @@ func (r *Reader) decodeStepFrame(payload []byte, f *Frame) error {
 			return d.err
 		}
 		if proc < 0 || proc >= int64(procs) {
+			//pram:coldalloc corrupt-input error exit
 			return corruptf("read %d names processor %d outside [0,%d)", g, proc, procs)
 		}
 		if v < 0 || v >= int64(r.mem) {
+			//pram:coldalloc corrupt-input error exit
 			return corruptf("read %d names variable %d outside [0,%d)", g, v, r.mem)
 		}
 		f.Reads = append(f.Reads, quorum.Request{Proc: int(proc), Var: int(v)})
@@ -268,6 +281,7 @@ func (r *Reader) decodeStepFrame(payload []byte, f *Frame) error {
 			// Bound the delta before adding so a corrupt value cannot
 			// overflow the running reader id past the range check.
 			if dv > uint64(procs) || reader+int64(dv) >= int64(procs) {
+				//pram:coldalloc corrupt-input error exit
 				return corruptf("read %d reader delta %d leaves [0,%d)", g, dv, procs)
 			}
 			reader += int64(dv)
@@ -285,9 +299,11 @@ func (r *Reader) decodeStepFrame(payload []byte, f *Frame) error {
 			return d.err
 		}
 		if proc < 0 || proc >= int64(procs) {
+			//pram:coldalloc corrupt-input error exit
 			return corruptf("write %d names processor %d outside [0,%d)", g, proc, procs)
 		}
 		if v < 0 || v >= int64(r.mem) {
+			//pram:coldalloc corrupt-input error exit
 			return corruptf("write %d names variable %d outside [0,%d)", g, v, r.mem)
 		}
 		f.Writes = append(f.Writes, quorum.Request{Proc: int(proc), Var: int(v), Write: true, Value: model.Word(val)})
@@ -448,6 +464,8 @@ func (rp *Replayer) Reset(src io.Reader) error {
 // (multi-lane pool trace) has executed, applying any load frames on the
 // way. It returns executed=false at the eof frame (after fingerprint
 // verification, when enabled) with a nil error.
+//
+//pram:hotpath
 func (rp *Replayer) Step() (executed bool, err error) {
 	for {
 		f, err := rp.r.Next()
@@ -472,6 +490,7 @@ func (rp *Replayer) Step() (executed bool, err error) {
 				return true, nil
 			}
 			if rp.roundSet[f.Lane] {
+				//pram:coldalloc corrupt-input error exit
 				return false, corruptf("round records lane %d twice", f.Lane)
 			}
 			copyDedupStep(&rp.round[f.Lane], f)
@@ -483,6 +502,7 @@ func (rp *Replayer) Step() (executed bool, err error) {
 				return false, corruptf("barrier frame in a single-lane trace")
 			}
 			if rp.roundFill != rp.built.Cfg.Lanes {
+				//pram:coldalloc corrupt-input error exit
 				return false, corruptf("round barrier after %d of %d lanes", rp.roundFill, rp.built.Cfg.Lanes)
 			}
 			agg, lanes := rp.built.Pool.ExecuteDedupSteps(rp.round)
@@ -498,9 +518,11 @@ func (rp *Replayer) Step() (executed bool, err error) {
 			return true, nil
 		case KindEOF:
 			if rp.roundFill != 0 {
+				//pram:coldalloc corrupt-input error exit
 				return false, corruptf("eof frame inside an unfinished round (%d of %d lanes)", rp.roundFill, rp.built.Cfg.Lanes)
 			}
 			if f.Steps != rp.passSteps {
+				//pram:coldalloc corrupt-input error exit
 				return false, corruptf("eof frame counts %d steps, replayed %d", f.Steps, rp.passSteps)
 			}
 			if rp.Verify {
@@ -509,6 +531,7 @@ func (rp *Replayer) Step() (executed bool, err error) {
 				rp.sum.ReplayFingerprint = rp.built.Store.Fingerprint()
 				rp.sum.FingerprintOK = rp.sum.ReplayFingerprint == rp.sum.RecordedFingerprint
 				if !rp.sum.FingerprintOK {
+					//pram:coldalloc verify-mismatch reporting path, cold unless the trace already failed
 					rp.mismatch(fmt.Sprintf("final store fingerprint %x, recorded %x",
 						rp.sum.ReplayFingerprint, rp.sum.RecordedFingerprint))
 				}

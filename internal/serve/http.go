@@ -1,3 +1,10 @@
+// This file is the ONE place the serving lane touches the wall clock:
+// the live HTTP round loop ticks in real time to pace virtual rounds.
+// Wall time never reaches simulation state — every tick is translated
+// into a virtual-round advance, and the PRAMARS1 script records those
+// rounds so `serve replay` reproduces the run entirely in virtual time.
+//
+//pram:wallclock
 package serve
 
 import (

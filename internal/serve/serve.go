@@ -726,6 +726,8 @@ func (ts *tenantLaneSink) StepBarrier() {
 // most one queued step per shard, round-robin over the shard's tenants),
 // one pool round, accounting — and returns how many tenant steps it
 // executed (0 for an idle round, which skips the pool entirely).
+//
+//pram:hotpath
 func (s *Server) Round() int {
 	r := s.round
 	s.round++
@@ -774,6 +776,7 @@ func (s *Server) Round() int {
 				if err := t.src.Err(); err != nil {
 					t.srcErr = err
 					if s.logf != nil {
+						//pram:coldalloc tenant source failure path, cold by definition
 						s.logf("serve: tenant %q source failed after %d steps: %v", t.cfg.Name, t.steps, err)
 					}
 				}
@@ -798,6 +801,7 @@ func (s *Server) Round() int {
 		s.mergedRounds++
 		if s.logf != nil && !s.loggedMerge {
 			s.loggedMerge = true
+			//pram:coldalloc warn-once merge log, guarded by loggedMerge
 			s.logf("serve: round %d forced %d serial-component merge(s): cross-band traffic is eroding the disjoint fast path (ForcedMerges counts every one)", r, merges)
 		}
 	}
