@@ -37,11 +37,14 @@ import (
 // String values are strconv.Quote'd so tenant specs with spaces survive;
 // engines records the RESOLVED starting K (the live flag may have been 0 =
 // "consult the environment", which a replay host must not re-consult).
-func metaLine(sf *sharedFlags, tenants, arrival string, engines int) string {
-	return fmt.Sprintf("tenants=%s arrival=%s n=%d engines=%d workers=%d queue=%d mode=%s seed=%d wseed=%d interconnect=%s kexp=%g gran=%g dualrail=%t allowkind=%t",
+// autoscale carries the raw MIN:MAX[:WINDOW] policy flag so replay can run
+// a shadow autoscaler and reproduce the flight recorder's decision events;
+// readers predating the key ignore it (unknown keys are forward-compatible).
+func metaLine(sf *sharedFlags, tenants, arrival string, engines int, autoscale string) string {
+	return fmt.Sprintf("tenants=%s arrival=%s n=%d engines=%d workers=%d queue=%d mode=%s seed=%d wseed=%d interconnect=%s kexp=%g gran=%g dualrail=%t allowkind=%t autoscale=%s",
 		strconv.Quote(tenants), strconv.Quote(arrival), sf.procs, engines, sf.workers, sf.queue,
 		strconv.Quote(sf.mode), sf.seed, sf.wseed, strconv.Quote(sf.interconnect),
-		sf.kexp, sf.gran, sf.dualRail, sf.allowKind)
+		sf.kexp, sf.gran, sf.dualRail, sf.allowKind, strconv.Quote(autoscale))
 }
 
 // parseMetaLine splits a meta line back into its key=value pairs,
@@ -160,6 +163,16 @@ func configFromMeta(meta string, verbose bool) (serve.Config, error) {
 	return cfg, nil
 }
 
+// metaValue extracts one key's value from a script meta line ("" if the
+// key is absent — scripts recorded before the key existed).
+func metaValue(meta, key string) (string, error) {
+	kv, err := parseMetaLine(meta)
+	if err != nil {
+		return "", err
+	}
+	return kv[key], nil
+}
+
 // parseAutoscale decodes MIN:MAX[:WINDOW].
 func parseAutoscale(s string) (serve.AutoscaleConfig, error) {
 	parts := strings.Split(s, ":")
@@ -201,6 +214,8 @@ func cmdHTTP(args []string) error {
 	autoscale := fs.String("autoscale", "", "autoscaler bounds MIN:MAX[:WINDOW] (empty = fixed K)")
 	scriptOut := fs.String("record-script", "", "record the arrival script (PRAMARS1) to FILE")
 	traceOut := fs.String("record-trace", "", "record the executed steps (PRAMTRC1) to FILE")
+	flightOut := fs.String("record-flight", "", "dump the flight recorder (JSON) to FILE at shutdown")
+	pprofOn := fs.Bool("pprof", false, "mount the stdlib /debug/pprof/* handlers (wall-clock host profiles)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -251,7 +266,7 @@ func cmdHTTP(args []string) error {
 			return err
 		}
 		defer f.Close()
-		rec, err := replay.NewScriptRecorder(f, metaLine(sf, *tenants, *arrival, s.Engines()))
+		rec, err := replay.NewScriptRecorder(f, metaLine(sf, *tenants, *arrival, s.Engines(), *autoscale))
 		if err != nil {
 			return err
 		}
@@ -265,6 +280,7 @@ func cmdHTTP(args []string) error {
 		opts.Autoscaler = serve.NewAutoscaler(s, acfg)
 		logf("autoscaler: %v", opts.Autoscaler.Config())
 	}
+	opts.Pprof = *pprofOn
 	h := serve.NewHTTPServer(s, opts)
 
 	ln, err := net.Listen("tcp", *addr)
@@ -287,6 +303,21 @@ func cmdHTTP(args []string) error {
 	srv.Shutdown(ctx)
 	cancel()
 	summarize(s, time.Since(start))
+	if *flightOut != "" {
+		f, ferr := os.Create(*flightOut)
+		if ferr == nil {
+			if werr := s.WriteFlight(f); werr != nil && ferr == nil {
+				ferr = werr
+			}
+			if cerr := f.Close(); cerr != nil && ferr == nil {
+				ferr = cerr
+			}
+		}
+		if ferr != nil && err == nil {
+			err = ferr
+		}
+		fmt.Printf("flight dump: %s\n", *flightOut)
+	}
 	if *scriptOut != "" {
 		fmt.Printf("arrival script: %s\n", *scriptOut)
 	}
@@ -300,6 +331,7 @@ func cmdReplay(args []string) error {
 	fs := flag.NewFlagSet("serve replay", flag.ExitOnError)
 	script := fs.String("script", "", "PRAMARS1 arrival script to replay (required)")
 	trace := fs.String("trace", "", "recorded PRAMTRC1 trace to byte-compare against the replay's re-recording")
+	flight := fs.String("flight", "", "recorded flight dump (JSON) to byte-compare against the replay's flight recorder")
 	verbose := fs.Bool("v", false, "log degradation warnings to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -332,8 +364,23 @@ func cmdReplay(args []string) error {
 			return err
 		}
 	}
+	// A recorded autoscale policy replays as a SHADOW autoscaler: it re-runs
+	// the live decision function on the replayed round stream (reproducing
+	// the flight recorder's decision events), and the script's own resize
+	// events become no-ops because the shadow already moved K.
+	var observe func()
+	if spec, err := metaValue(sc.Meta, "autoscale"); err != nil {
+		return err
+	} else if spec != "" {
+		acfg, err := parseAutoscale(spec)
+		if err != nil {
+			return fmt.Errorf("script meta: %v", err)
+		}
+		shadow := serve.NewAutoscaler(s, acfg)
+		observe = func() { shadow.Observe() }
+	}
 	start := time.Now()
-	s.PlayScript(sc.Events, sc.Rounds)
+	s.PlayScriptObserved(sc.Events, sc.Rounds, observe)
 	if err := s.StopTrace(); err != nil {
 		return err
 	}
@@ -356,6 +403,20 @@ func cmdReplay(args []string) error {
 	}
 	if fp := s.Fingerprint(); fp != sc.Fingerprint {
 		return fmt.Errorf("replay fingerprint %016x != recorded %016x", fp, sc.Fingerprint)
+	}
+	if *flight != "" {
+		recorded, err := os.ReadFile(*flight)
+		if err != nil {
+			return err
+		}
+		var redump bytes.Buffer
+		if err := s.WriteFlight(&redump); err != nil {
+			return err
+		}
+		if !bytes.Equal(recorded, redump.Bytes()) {
+			return fmt.Errorf("replayed flight dump differs from %s (%d vs %d bytes)", *flight, len(recorded), redump.Len())
+		}
+		fmt.Printf("flight: byte-identical to %s (%d bytes, %d events)\n", *flight, redump.Len(), s.Flight().Len())
 	}
 	if *trace != "" {
 		recorded, err := os.ReadFile(*trace)

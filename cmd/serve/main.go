@@ -17,9 +17,13 @@
 //	                                      drain; -record-script/-record-trace
 //	                                      capture the run for replay
 //	serve replay  -script FILE [-trace T] replay a recorded live run in
-//	                                      virtual time and verify it against
+//	              [-flight F]             virtual time and verify it against
 //	                                      the script footer (and, with
-//	                                      -trace, byte-compare the trace)
+//	                                      -trace/-flight, byte-compare the
+//	                                      trace and flight-recorder dump)
+//	serve promlint FILE                   validate a Prometheus text
+//	                                      exposition (grammar, histogram
+//	                                      invariants); - reads stdin
 //
 // Tenant spec (run): comma-separated items, each
 //
@@ -79,6 +83,8 @@ func main() {
 		err = cmdHTTP(os.Args[2:])
 	case "replay":
 		err = cmdReplay(os.Args[2:])
+	case "promlint":
+		err = cmdPromlint(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -106,8 +112,10 @@ func usage() {
                 [-interconnect bipartite|mot2d] [-kexp K] [-gran D] [-dualrail]
   serve http    -tenants SPEC [-addr HOST:PORT] [-round-every DUR]
                 [-autoscale MIN:MAX[:WINDOW]] [-record-script FILE]
-                [-record-trace FILE] [shared flags as for run]
-  serve replay  -script FILE [-trace FILE] [-v]
+                [-record-trace FILE] [-record-flight FILE] [-pprof]
+                [shared flags as for run]
+  serve replay  -script FILE [-trace FILE] [-flight FILE] [-v]
+  serve promlint FILE
 `)
 }
 

@@ -158,10 +158,13 @@ func TestMetaRoundTrip(t *testing.T) {
 		procs: 16, workers: 2, queue: 6, seed: 5, wseed: 42,
 		mode: "crcw", interconnect: "bipartite", kexp: 2, gran: 0,
 	}
-	meta := metaLine(sf, "uniform:5,hotspot:5", "external", 2)
+	meta := metaLine(sf, "uniform:5,hotspot:5", "external", 2, "1:4:8")
 	cfg, err := configFromMeta(meta, false)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if spec, err := metaValue(meta, "autoscale"); err != nil || spec != "1:4:8" {
+		t.Errorf("autoscale meta round-trip: %q, %v", spec, err)
 	}
 	if len(cfg.Tenants) != 2 || cfg.Engines != 2 || cfg.Seed != 5 || cfg.QueueCap != 6 {
 		t.Errorf("cfg = {tenants=%d engines=%d seed=%d queue=%d}", len(cfg.Tenants), cfg.Engines, cfg.Seed, cfg.QueueCap)
@@ -175,7 +178,7 @@ func TestMetaRoundTrip(t *testing.T) {
 	}
 	s.Close()
 	// Meta lines with pathological tenant specs survive quoting.
-	meta = metaLine(sf, `trace:/odd path/mix:v1.trc:1`, "closed:2", 1)
+	meta = metaLine(sf, `trace:/odd path/mix:v1.trc:1`, "closed:2", 1, "")
 	kv, err := parseMetaLine(meta)
 	if err != nil {
 		t.Fatal(err)

@@ -44,6 +44,10 @@ func TestHotAlloc(t *testing.T) {
 	linttest.Run(t, "hotalloc/suppressed", "repro/internal/quorum", lint.HotAlloc)
 	linttest.Run(t, "hotalloc/stale", "repro/internal/quorum", lint.HotAlloc)
 	linttest.Run(t, "hotalloc/clean", "repro/internal/quorum", lint.HotAlloc)
+	// The observability hot shapes: histogram observe and flight/wait ring
+	// stores stay silent; unbounded appends, boxing and formatting flag.
+	linttest.Run(t, "hotalloc/observe", "repro/internal/serve", lint.HotAlloc)
+	linttest.Run(t, "hotalloc/observebad", "repro/internal/serve", lint.HotAlloc)
 }
 
 func TestPramDirective(t *testing.T) {

@@ -1,0 +1,67 @@
+// Fixture: the observability hot shapes — a fixed-boundary histogram
+// observe and a flight-recorder ring append. Both mutate receiver-owned
+// preallocated state only; hotalloc must stay silent. Run under
+// "repro/internal/serve".
+package fixture
+
+type histogram struct {
+	counts []int64
+	sum    int64
+	total  int64
+}
+
+// observe is the per-sample hot path: bucket index + three int64 bumps
+// into a preallocated counts slice.
+//
+//pram:hotpath
+func (h *histogram) observe(v int64) {
+	idx := 0
+	for b := int64(1); b < v && idx < len(h.counts)-1; b *= 2 {
+		idx++
+	}
+	h.counts[idx]++
+	h.sum += v
+	h.total++
+}
+
+type event struct {
+	round int64
+	kind  uint8
+	a, b  int64
+}
+
+type recorder struct {
+	ring  []event
+	total int64
+}
+
+// push is the per-event hot path: a struct store into a preallocated ring
+// slot, overwriting the oldest once full.
+//
+//pram:hotpath
+func (r *recorder) push(ev event) {
+	r.ring[r.total%int64(len(r.ring))] = ev
+	r.total++
+}
+
+type waiter struct {
+	ring       []int64
+	head, live int
+}
+
+// pushWait/popWait: the queue-wait ring pair — receiver-owned stores and
+// index arithmetic only.
+//
+//pram:hotpath
+func (w *waiter) pushWait(round int64) {
+	w.ring[(w.head+w.live)%len(w.ring)] = round
+	w.live++
+}
+
+//pram:hotpath
+func (w *waiter) popWait() int64 {
+	r := w.ring[w.head]
+	w.head = (w.head + 1) % len(w.ring)
+	w.live--
+	return r
+}

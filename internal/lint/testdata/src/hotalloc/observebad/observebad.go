@@ -1,0 +1,45 @@
+// Fixture: the tempting-but-allocating ways to write the observability
+// hot paths — growing the ring instead of overwriting, formatting inside
+// observe, boxing the event for a generic sink. Run under
+// "repro/internal/serve".
+package fixture
+
+import "fmt"
+
+type event struct {
+	round int64
+	kind  uint8
+}
+
+type recorder struct {
+	log   []event
+	total int64
+}
+
+type sink interface{ accept(any) }
+
+// push grows an unbounded log instead of storing into a fixed ring.
+//
+//pram:hotpath
+func (r *recorder) push(ev event, spill []event) []event {
+	r.log = append(r.log, ev) // receiver-owned arena: fine
+	spill = append(spill, ev) // want "append to spill in hot path push"
+	return append(spill, ev)  // want "append to spill in hot path push"
+}
+
+type histogram struct {
+	counts []int64
+	total  int64
+}
+
+// observe formats and boxes on every sample.
+//
+//pram:hotpath
+func (h *histogram) observe(v int64, out sink) string {
+	h.counts[0]++
+	h.total++
+	out.accept(v)                      // want "argument boxes int64 into any in hot path observe"
+	track := func() int64 { return v } // want "closure in hot path observe captures v"
+	_ = track()
+	return fmt.Sprintf("%d", v) // want "fmt\\.Sprintf in hot path observe: formatting allocates"
+}

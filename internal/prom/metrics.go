@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 )
@@ -30,8 +31,13 @@ type Sample struct {
 	Value  float64
 }
 
-// Desc describes one metric family (name, help text, and type — "counter"
-// or "gauge").
+// Desc describes one metric family (name, help text, and type — "counter",
+// "gauge", or "histogram"). A histogram family's samples are the three
+// sub-series EmitHistogram renders (Name_bucket with `le` labels, Name_sum,
+// Name_count); the registry groups them under the family's one HELP/TYPE
+// header and preserves their emission order, because cumulative `le`
+// buckets must render in ascending numeric order and a lexical label sort
+// would put le="16" before le="2".
 type Desc struct {
 	Name string
 	Help string
@@ -71,33 +77,52 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 
 	var descs []Desc
 	byName := make(map[string][]Sample)
+	// alias maps a histogram family's three sub-series names to the family
+	// name, so their samples collect under one header in emission order.
+	alias := map[string]string{}
 	for _, c := range collectors {
 		c.Describe(func(d Desc) {
 			if _, dup := byName[d.Name]; !dup {
 				byName[d.Name] = nil
 				descs = append(descs, d)
+				if d.Type == "histogram" {
+					alias[d.Name+"_bucket"] = d.Name
+					alias[d.Name+"_sum"] = d.Name
+					alias[d.Name+"_count"] = d.Name
+				}
 			}
 		})
 		c.Collect(func(s Sample) {
-			byName[s.Name] = append(byName[s.Name], s)
+			name := s.Name
+			if fam, ok := alias[name]; ok {
+				name = fam
+			}
+			byName[name] = append(byName[name], s)
 		})
 	}
 	var sb strings.Builder
-	writeSamples := func(samples []Sample) {
-		sort.SliceStable(samples, func(i, j int) bool { return samples[i].Labels < samples[j].Labels })
+	emitSample := func(s Sample) {
+		if s.Labels == "" {
+			fmt.Fprintf(&sb, "%s %s\n", s.Name, formatValue(s.Value))
+		} else {
+			fmt.Fprintf(&sb, "%s{%s} %s\n", s.Name, s.Labels, formatValue(s.Value))
+		}
+	}
+	writeSamples := func(samples []Sample, keepOrder bool) {
+		if !keepOrder {
+			sort.SliceStable(samples, func(i, j int) bool { return samples[i].Labels < samples[j].Labels })
+		}
 		for _, s := range samples {
-			if s.Labels == "" {
-				fmt.Fprintf(&sb, "%s %s\n", s.Name, formatValue(s.Value))
-			} else {
-				fmt.Fprintf(&sb, "%s{%s} %s\n", s.Name, s.Labels, formatValue(s.Value))
-			}
+			emitSample(s)
 		}
 	}
 	described := make(map[string]bool, len(descs))
 	for _, d := range descs {
 		described[d.Name] = true
-		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s %s\n", d.Name, d.Help, d.Name, d.Type)
-		writeSamples(byName[d.Name])
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s %s\n", d.Name, escapeHelp(d.Help), d.Name, d.Type)
+		// Histogram sub-series render exactly as emitted: per label group,
+		// ascending cumulative buckets, then the group's sum and count.
+		writeSamples(byName[d.Name], d.Type == "histogram")
 	}
 	// Samples whose family was never described (a Collect/Describe drift)
 	// still render — as untyped families, sorted by name — rather than
@@ -112,7 +137,7 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	sort.Strings(extras)
 	for _, name := range extras {
 		fmt.Fprintf(&sb, "# TYPE %s untyped\n", name)
-		writeSamples(byName[name])
+		writeSamples(byName[name], false)
 	}
 	n, err := io.WriteString(w, sb.String())
 	return int64(n), err
@@ -127,6 +152,14 @@ func formatValue(v float64) string {
 	return fmt.Sprintf("%g", v)
 }
 
+// escapeHelp escapes a HELP text per the exposition format: backslash and
+// newline (double quotes are legal in help text, unlike label values). An
+// unescaped newline would split the comment mid-line and corrupt every
+// family after it.
+func escapeHelp(s string) string {
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(s)
+}
+
 // Label renders one key="value" label pair, escaping the value per the
 // exposition format (backslash, double quote, newline).
 func Label(key, value string) string {
@@ -136,3 +169,30 @@ func Label(key, value string) string {
 
 // Labels joins rendered label pairs.
 func Labels(pairs ...string) string { return strings.Join(pairs, ",") }
+
+// EmitHistogram renders h as the three sub-series of a Prometheus
+// histogram family: cumulative `_bucket` samples in ascending `le` order
+// (finite power-of-two boundaries, then `+Inf`), `_sum`, and `_count`.
+// labels is the family's pre-rendered label set ("" for none); the `le`
+// pair is appended to it per bucket. Call from a Collector whose Describe
+// declared name with Type "histogram". Rendering allocates; it runs off
+// the hot path like all collection.
+func EmitHistogram(emit func(Sample), name, labels string, h *Histogram) {
+	withLE := func(le string) string {
+		if labels == "" {
+			return `le="` + le + `"`
+		}
+		return labels + `,le="` + le + `"`
+	}
+	cum := int64(0)
+	bound := int64(1)
+	for i := 0; i < h.Buckets(); i++ {
+		cum += h.BucketCount(i)
+		emit(Sample{Name: name + "_bucket", Labels: withLE(strconv.FormatInt(bound, 10)), Value: float64(cum)})
+		bound *= 2
+	}
+	cum += h.BucketCount(h.Buckets())
+	emit(Sample{Name: name + "_bucket", Labels: withLE("+Inf"), Value: float64(cum)})
+	emit(Sample{Name: name + "_sum", Labels: labels, Value: float64(h.Sum())})
+	emit(Sample{Name: name + "_count", Labels: labels, Value: float64(cum)})
+}

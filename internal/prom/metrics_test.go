@@ -79,6 +79,28 @@ undeclared_total 3
 	}
 }
 
+// TestHelpEscaping covers the HELP-line escapes: an unescaped newline in a
+// help text would split the comment mid-line and corrupt every family
+// after it.
+func TestHelpEscaping(t *testing.T) {
+	var r Registry
+	r.Register(&fakeCollector{
+		descs:   []Desc{{Name: "hostile_total", Help: "line\nbreak and back\\slash", Type: "counter"}},
+		samples: []Sample{{Name: "hostile_total", Value: 1}},
+	})
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP hostile_total line\nbreak and back\\slash
+# TYPE hostile_total counter
+hostile_total 1
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
 // TestLabelEscaping covers the three escapes the format requires.
 func TestLabelEscaping(t *testing.T) {
 	got := Label("name", "a\"b\\c\nd")

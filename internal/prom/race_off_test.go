@@ -1,0 +1,6 @@
+//go:build !race
+
+package prom
+
+// raceEnabled reports that the race detector is active.
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package prom
+
+// raceEnabled reports that the race detector is active: the allocation
+// invariants are measured without it (its instrumentation skews Mallocs).
+const raceEnabled = true

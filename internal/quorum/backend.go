@@ -270,6 +270,16 @@ func (m *Machine) ExecuteStep(batch model.Batch) model.StepReport {
 	return rep
 }
 
+// LastDedupRequests reports the post-dedup batch size — deduplicated read
+// plus write requests — of the most recent ExecuteStep. The sizes live in
+// the machine's scratch arena, so exposing them is free; the serving lane's
+// dedup-batch-size histogram observes this instead of attaching a StepSink
+// (which would make every step pay for reader-list materialization).
+// ExecuteDedupStep (the replay entry point) does not update it.
+func (m *Machine) LastDedupRequests() int {
+	return len(m.sc.readReqs) + len(m.sc.writeReqs)
+}
+
 // assembleReport fills the cost and error fields of a step report from the
 // read- and write-batch results. Only the scalar fields of rres are read
 // (its slices were clobbered by the write batch's run); readLastLive is the

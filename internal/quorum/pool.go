@@ -255,6 +255,17 @@ func (p *Pool) LastComponents() int { return p.lastComp }
 // LastActive() as its occupancy.
 func (p *Pool) LastActive() int { return p.lastActive }
 
+// LastDedupRequests reports the post-dedup batch size — deduplicated read
+// plus write requests — of the step shard sh most recently executed
+// through ExecuteSteps. It reads the sizes the dedup pass left in the
+// shard machine's scratch, so observing it costs nothing on the execution
+// path (unlike a StepSink, which makes every step materialize its reader
+// fan-out lists). Valid between rounds for shards that executed a non-empty
+// batch; an idle shard reports 0.
+func (p *Pool) LastDedupRequests(sh int) int {
+	return p.machines[sh].LastDedupRequests()
+}
+
 // Close retires the pool's background executor goroutines NOW instead of
 // waiting for the runtime cleanup at collection time — the graceful-
 // shutdown hook of a serving deployment. The pool stays usable: a later

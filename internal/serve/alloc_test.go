@@ -46,6 +46,49 @@ func TestServeRoundZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestFlightPushZeroAllocs locks the flight recorder's append: a struct
+// store into a preallocated ring slot, even once the ring wraps.
+func TestFlightPushZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation invariants are measured without the race detector")
+	}
+	f := NewFlightRecorder(8)
+	if avg := testing.AllocsPerRun(200, func() {
+		f.push(FlightEvent{Round: f.total, Kind: FlightRound, A: 1, K: 2})
+	}); avg != 0 {
+		t.Errorf("flight push allocates %.2f/op, want 0", avg)
+	}
+	if f.Dropped() == 0 {
+		t.Error("ring never wrapped — the test did not cover the overwrite path")
+	}
+}
+
+// TestSubmitZeroAllocs extends the invariant to external admission: Submit
+// (wait-ring pushes + flight event) and the round that serves the credit
+// are allocation-free in steady state.
+func TestSubmitZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation invariants are measured without the race detector")
+	}
+	s, err := NewServer(externalPair())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		s.Submit(0, 2)
+		s.Submit(1, 6) // overflows cap 4: the rejection path is hot too
+		s.Round()
+	}
+	if avg := testing.AllocsPerRun(50, func() {
+		s.Submit(0, 1)
+		s.Submit(1, 6)
+		s.Round()
+	}); avg != 0 {
+		t.Errorf("Submit+Round allocates %.2f/op in steady state, want 0", avg)
+	}
+}
+
 // TestServeTraceRoundZeroAllocs extends the invariant to a trace-backed
 // tenant: frame decode, batch reconstruction and band remap are all
 // allocation-free in steady state.

@@ -158,10 +158,20 @@ func (a *Autoscaler) Observe() int {
 	}
 
 	k := s.k
+	// decision records the verdict AND its full window inputs into the
+	// flight recorder — the audit trail that answers WHY the autoscaler
+	// resized (or deliberately held), reproduced bit-for-bit by replay.
+	decision := func(to int) {
+		s.flight.push(FlightEvent{Round: s.round, Kind: FlightDecision,
+			K: int32(k), To: int32(to),
+			A: rejDelta, B: execDelta, C: mergedDelta,
+			F1: queueFrac, F2: avgActive, F3: mergeFrac})
+	}
 	// Grow on admission pressure — rejections or persistently deep queues —
 	// unless the window's merge rate says the mix cannot use more lanes.
 	if (rejDelta > 0 || queueFrac >= a.cfg.QueueHighFrac) && k < a.cfg.Max {
 		if mergeFrac >= a.cfg.MergeBlockFrac {
+			decision(0) // the withheld grow: pressure was there, parallelism was not
 			if s.logf != nil {
 				s.logf("serve: autoscaler holding K=%d under pressure: %.0f%% of rounds forced serial merges (cross-band mix)", k, 100*mergeFrac)
 			}
@@ -171,6 +181,7 @@ func (a *Autoscaler) Observe() int {
 		if nk > a.cfg.Max {
 			nk = a.cfg.Max
 		}
+		decision(nk)
 		s.Resize(nk)
 		a.grows++
 		a.cooldown = a.cfg.Cooldown
@@ -182,6 +193,7 @@ func (a *Autoscaler) Observe() int {
 		if nk < a.cfg.Min {
 			nk = a.cfg.Min
 		}
+		decision(nk)
 		s.Resize(nk)
 		a.shrinks++
 		a.cooldown = a.cfg.Cooldown

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// FlightKind tags one flight-recorder event.
+type FlightKind uint8
+
+const (
+	// FlightRound is one executed serving round: how many tenant steps were
+	// scheduled, how many forced serial merges the pool reported, the
+	// occupancy census, and the K it ran at.
+	FlightRound FlightKind = iota + 1
+	// FlightSubmit is one external Server.Submit call and its deterministic
+	// accepted/rejected split.
+	FlightSubmit
+	// FlightReject is an autonomous-arrival overflow: credits an open-loop
+	// burst offered beyond the tenant's queue cap.
+	FlightReject
+	// FlightResize is one online K transition.
+	FlightResize
+	// FlightDecision is an autoscaler verdict WITH its full window inputs —
+	// the "why" behind (or deliberately withheld before) a resize.
+	FlightDecision
+	// FlightDrain marks the admission stop.
+	FlightDrain
+)
+
+// FlightEvent is one fixed-width flight-recorder record. The scalar
+// fields are kind-specific (see the dump renderer); keeping one flat
+// struct lets the ring hold events by value with no per-event allocation.
+type FlightEvent struct {
+	Round  int64
+	Kind   FlightKind
+	Tenant int32 // FlightSubmit, FlightReject
+	K, To  int32 // FlightResize (from/to), FlightDecision (current/target)
+
+	// A, B, C per kind:
+	//   FlightRound:    scheduled steps, forced merges, active shards
+	//   FlightSubmit:   accepted, rejected
+	//   FlightReject:   rejected credits
+	//   FlightDecision: rejected delta, executed-rounds delta, merged-rounds delta
+	A, B, C int64
+
+	// F1, F2, F3 (FlightDecision): queue-fill fraction, average active
+	// shards, merged-round fraction over the decision window.
+	F1, F2, F3 float64
+}
+
+// FlightRecorder is a fixed-size ring of FlightEvents — the serving lane's
+// black box. Appending is a struct store into a preallocated slot (zero
+// allocations, //pram:hotpath safe); the ring keeps the most recent
+// events and counts what it overwrote, so a dump can never silently
+// pretend to be complete. Everything recorded is in VIRTUAL round time:
+// the same (seed, specs, script) produces a bit-for-bit identical event
+// stream, and `serve replay` reproduces a live run's dump exactly.
+type FlightRecorder struct {
+	ring  []FlightEvent
+	total int64 // events ever pushed
+}
+
+// NewFlightRecorder builds a ring holding the most recent `depth` events
+// (depth < 1 is clamped to 1).
+func NewFlightRecorder(depth int) *FlightRecorder {
+	if depth < 1 {
+		depth = 1
+	}
+	return &FlightRecorder{ring: make([]FlightEvent, depth)}
+}
+
+// push appends one event, overwriting the oldest once the ring is full.
+//
+//pram:hotpath
+func (f *FlightRecorder) push(ev FlightEvent) {
+	f.ring[f.total%int64(len(f.ring))] = ev
+	f.total++
+}
+
+// Total reports how many events were ever recorded.
+func (f *FlightRecorder) Total() int64 { return f.total }
+
+// Len reports how many events the ring currently holds.
+func (f *FlightRecorder) Len() int {
+	if f.total < int64(len(f.ring)) {
+		return int(f.total)
+	}
+	return len(f.ring)
+}
+
+// Dropped reports how many events the ring has overwritten.
+func (f *FlightRecorder) Dropped() int64 { return f.total - int64(f.Len()) }
+
+// Events appends the retained events, oldest first, to dst and returns it.
+func (f *FlightRecorder) Events(dst []FlightEvent) []FlightEvent {
+	n := int64(f.Len())
+	for i := f.total - n; i < f.total; i++ {
+		dst = append(dst, f.ring[i%int64(len(f.ring))])
+	}
+	return dst
+}
+
+// WriteJSON dumps the retained events as deterministic JSON: fixed key
+// order, oldest event first, floats in strconv 'g' form — two runs with
+// identical event streams produce byte-identical dumps. tenantName maps a
+// tenant id to its display name (nil renders bare ids). Dumping allocates;
+// it runs off the hot path (the /debug/flight handler, shutdown, replay).
+func (f *FlightRecorder) WriteJSON(w io.Writer, tenantName func(int) string) error {
+	var err error
+	pf := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	pf("{\"total\":%d,\"dropped\":%d,\"events\":[", f.total, f.Dropped())
+	n := int64(f.Len())
+	for i := int64(0); i < n; i++ {
+		ev := &f.ring[(f.total-n+i)%int64(len(f.ring))]
+		if i > 0 {
+			pf(",")
+		}
+		pf("\n")
+		writeEvent(pf, ev, tenantName)
+	}
+	if n > 0 {
+		pf("\n")
+	}
+	pf("]}\n")
+	return err
+}
+
+// writeEvent renders one event with kind-specific keys.
+func writeEvent(pf func(string, ...any), ev *FlightEvent, tenantName func(int) string) {
+	tenant := func() string {
+		if tenantName == nil {
+			return strconv.Itoa(int(ev.Tenant))
+		}
+		return strconv.Quote(tenantName(int(ev.Tenant)))
+	}
+	switch ev.Kind {
+	case FlightRound:
+		pf("{\"round\":%d,\"kind\":\"round\",\"scheduled\":%d,\"merges\":%d,\"active\":%d,\"k\":%d}",
+			ev.Round, ev.A, ev.B, ev.C, ev.K)
+	case FlightSubmit:
+		pf("{\"round\":%d,\"kind\":\"submit\",\"tenant\":%s,\"accepted\":%d,\"rejected\":%d}",
+			ev.Round, tenant(), ev.A, ev.B)
+	case FlightReject:
+		pf("{\"round\":%d,\"kind\":\"reject\",\"tenant\":%s,\"rejected\":%d}",
+			ev.Round, tenant(), ev.A)
+	case FlightResize:
+		pf("{\"round\":%d,\"kind\":\"resize\",\"from\":%d,\"to\":%d}", ev.Round, ev.K, ev.To)
+	case FlightDecision:
+		action := "hold"
+		switch {
+		case ev.To > ev.K:
+			action = "grow"
+		case ev.To != 0 && ev.To < ev.K:
+			action = "shrink"
+		}
+		pf("{\"round\":%d,\"kind\":\"decision\",\"action\":%q,\"k\":%d,\"to\":%d,"+
+			"\"rej_delta\":%d,\"exec_delta\":%d,\"merged_delta\":%d,"+
+			"\"queue_frac\":%s,\"avg_active\":%s,\"merge_frac\":%s}",
+			ev.Round, action, ev.K, ev.To, ev.A, ev.B, ev.C,
+			jsonFloat(ev.F1), jsonFloat(ev.F2), jsonFloat(ev.F3))
+	case FlightDrain:
+		pf("{\"round\":%d,\"kind\":\"drain\"}", ev.Round)
+	default:
+		pf("{\"round\":%d,\"kind\":\"unknown\"}", ev.Round)
+	}
+}
+
+// jsonFloat renders a float deterministically (shortest round-trip form,
+// always with enough shape to stay a JSON number).
+func jsonFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	return s
+}

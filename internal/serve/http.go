@@ -10,6 +10,7 @@ package serve
 import (
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 	"time"
@@ -32,6 +33,11 @@ type HTTPOptions struct {
 	// Autoscaler, when non-nil, is consulted after every round; resizes it
 	// performs are recorded into Script.
 	Autoscaler *Autoscaler
+	// Pprof mounts the stdlib /debug/pprof/* handlers on the mux. Off by
+	// default: the profiles are wall-clock observations of the host process
+	// (CPU samples, goroutine stacks, heap), strictly outside the virtual
+	// timeline, and they expose process internals — opt in per deployment.
+	Pprof bool
 	// Logf receives operational one-liners (listen, drain, resize).
 	Logf func(format string, args ...any)
 }
@@ -56,6 +62,8 @@ type HTTPServer struct {
 	reg    *prom.Registry
 	logf   func(string, ...any)
 
+	pprof bool
+
 	shut    bool
 	shutErr error
 	quit    chan struct{}
@@ -75,7 +83,7 @@ func NewHTTPServer(s *Server, o HTTPOptions) *HTTPServer {
 	}
 	h := &HTTPServer{
 		s: s, as: o.Autoscaler, script: o.Script,
-		reg: reg, logf: o.Logf, quit: make(chan struct{}),
+		reg: reg, logf: o.Logf, pprof: o.Pprof, quit: make(chan struct{}),
 	}
 	s.Metrics(reg)
 	if h.as != nil {
@@ -97,11 +105,23 @@ func (h *HTTPServer) Registry() *prom.Registry { return h.reg }
 //	POST /submit?tenant=NAME&steps=N   offer N step credits (default 1)
 //	GET  /metrics                      Prometheus text exposition
 //	GET  /healthz                      200 ok, 503 once draining
+//	GET  /debug/flight                 flight-recorder dump (JSON, virtual time)
+//	GET  /debug/pprof/*                stdlib profiles (only with Pprof: true)
 func (h *HTTPServer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/submit", h.handleSubmit)
 	mux.HandleFunc("/metrics", h.handleMetrics)
 	mux.HandleFunc("/healthz", h.handleHealthz)
+	mux.HandleFunc("/debug/flight", h.handleFlight)
+	if h.pprof {
+		// The stdlib handlers self-register on http.DefaultServeMux; mount
+		// them explicitly so they exist only when opted in and only here.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -164,6 +184,17 @@ func (h *HTTPServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	defer h.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	h.reg.WriteTo(w)
+}
+
+// handleFlight dumps the flight recorder between rounds: the most recent
+// structured round/admission/resize/decision events, in virtual round time,
+// as deterministic JSON. The dump a live run serves here is reproduced
+// byte-for-byte by `serve replay` from the recorded script.
+func (h *HTTPServer) handleFlight(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	h.s.WriteFlight(w)
 }
 
 // handleHealthz flips to 503 once admission stops, so load balancers stop

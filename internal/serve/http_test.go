@@ -140,6 +140,73 @@ func TestHTTPMetricsAndHealth(t *testing.T) {
 	checkIdentity(t, s, "after shutdown")
 }
 
+// TestHTTPFlightEndpoint: /debug/flight serves the server's flight dump —
+// byte-identical to WriteFlight — and reflects admissions and rounds.
+func TestHTTPFlightEndpoint(t *testing.T) {
+	s, err := NewServer(externalPair())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	h := NewHTTPServer(s, HTTPOptions{})
+	ts := httptest.NewServer(h.Handler())
+	defer ts.Close()
+
+	postSubmit(t, ts.URL, "ext0", 2)
+	h.Tick()
+	resp, err := http.Get(ts.URL + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/flight code %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/debug/flight content-type %q", ct)
+	}
+	var want bytes.Buffer
+	if err := s.WriteFlight(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want.Bytes()) {
+		t.Errorf("/debug/flight differs from WriteFlight:\nhttp:  %s\ndirect: %s", body, want.Bytes())
+	}
+	for _, frag := range []string{`"kind":"submit","tenant":"ext0","accepted":2`, `"kind":"round"`} {
+		if !strings.Contains(string(body), frag) {
+			t.Errorf("flight dump missing %q in %s", frag, body)
+		}
+	}
+}
+
+// TestHTTPPprofGate: the stdlib profile handlers exist on the mux only when
+// HTTPOptions.Pprof opts in.
+func TestHTTPPprofGate(t *testing.T) {
+	s, err := NewServer(externalPair())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, tc := range []struct {
+		pprof bool
+		want  int
+	}{{false, http.StatusNotFound}, {true, http.StatusOK}} {
+		h := NewHTTPServer(s, HTTPOptions{Pprof: tc.pprof})
+		ts := httptest.NewServer(h.Handler())
+		resp, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("pprof=%v: /debug/pprof/cmdline code %d, want %d", tc.pprof, resp.StatusCode, tc.want)
+		}
+		ts.Close()
+	}
+}
+
 // TestHTTPRecordedRunReplays is the end-to-end live-mode acceptance at the
 // HTTP layer: a run driven through the handlers — including a 429'd
 // overflow and a denied post-drain submission — records a script + trace

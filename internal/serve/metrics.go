@@ -15,6 +15,10 @@ type collector struct {
 	labelsK      int // the K the cached labels were computed for
 	tenantLabels []string
 	shardLabels  []string
+	// histLabels are per-tenant labels WITHOUT the shard: histograms
+	// accumulate across online resizes, so stamping them with a placement
+	// that can change mid-run would strand observations under stale series.
+	histLabels []string
 }
 
 // Metrics registers the server's serving metrics with a prom.Registry.
@@ -42,6 +46,12 @@ func (c *collector) refreshLabels() {
 	for sh := 0; sh < s.k; sh++ {
 		c.shardLabels = append(c.shardLabels, prom.Label("shard", strconv.Itoa(sh)))
 	}
+	c.histLabels = c.histLabels[:0]
+	for _, t := range s.tenants {
+		c.histLabels = append(c.histLabels, prom.Labels(
+			prom.Label("tenant", t.cfg.Name),
+			prom.Label("band", strconv.Itoa(t.cfg.Band))))
+	}
 }
 
 // Describe implements prom.Collector.
@@ -66,6 +76,12 @@ func (c *collector) Describe(desc func(prom.Desc)) {
 		{Name: "pramsim_serve_tenant_sim_time_total", Help: "summed simulated step time", Type: "counter"},
 		{Name: "pramsim_serve_tenant_phases_total", Help: "summed quorum protocol phases", Type: "counter"},
 		{Name: "pramsim_serve_shard_tenants", Help: "tenants placed on the shard", Type: "gauge"},
+		{Name: "pramsim_serve_tenant_step_time", Help: "simulated time per executed tenant step (power-of-two buckets)", Type: "histogram"},
+		{Name: "pramsim_serve_tenant_queue_wait_rounds", Help: "virtual rounds a credit waited in the admission queue before executing", Type: "histogram"},
+		{Name: "pramsim_serve_round_active_shards", Help: "shards that carried work, per executed round", Type: "histogram"},
+		{Name: "pramsim_serve_round_makespan", Help: "slowest shard's simulated step time, per executed round", Type: "histogram"},
+		{Name: "pramsim_serve_round_work", Help: "summed simulated step time across shards, per executed round", Type: "histogram"},
+		{Name: "pramsim_serve_step_dedup_requests", Help: "post-dedup quorum request count (reads plus writes) per executed tenant step", Type: "histogram"},
 	} {
 		desc(d)
 	}
@@ -106,4 +122,12 @@ func (c *collector) Collect(emit func(prom.Sample)) {
 	for sh := 0; sh < s.k; sh++ {
 		emit(prom.Sample{Name: "pramsim_serve_shard_tenants", Labels: c.shardLabels[sh], Value: float64(len(s.byShard[sh]))})
 	}
+	for i, t := range s.tenants {
+		prom.EmitHistogram(emit, "pramsim_serve_tenant_step_time", c.histLabels[i], t.hStep)
+		prom.EmitHistogram(emit, "pramsim_serve_tenant_queue_wait_rounds", c.histLabels[i], t.hWait)
+	}
+	prom.EmitHistogram(emit, "pramsim_serve_round_active_shards", "", s.hRoundActive)
+	prom.EmitHistogram(emit, "pramsim_serve_round_makespan", "", s.hRoundMakespan)
+	prom.EmitHistogram(emit, "pramsim_serve_round_work", "", s.hRoundWork)
+	prom.EmitHistogram(emit, "pramsim_serve_step_dedup_requests", "", s.hDedup)
 }

@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/prom"
+	"repro/internal/replay"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// histString renders a histogram's full state for bit-for-bit comparison.
+func histString(h *prom.Histogram) string {
+	var sb strings.Builder
+	for i := 0; i <= h.Buckets(); i++ {
+		fmt.Fprintf(&sb, "%d,", h.BucketCount(i))
+	}
+	fmt.Fprintf(&sb, "sum=%d,count=%d", h.Sum(), h.Count())
+	return sb.String()
+}
+
+// serveMix runs a mix to completion and hands the still-open server to fn.
+func serveMix(t *testing.T, cfg Config, fn func(s *Server)) {
+	t.Helper()
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.ServeAll(2000); err != nil {
+		t.Fatal(err)
+	}
+	fn(s)
+}
+
+// TestHistogramsKInvariant: for a finite mix served to completion, every
+// tenant executes the exact same step multiset at every K, so the
+// per-tenant step-time histograms and the server-wide dedup-batch-size
+// histogram must be bit-for-bit identical across engine counts. (Queue
+// waits, occupancy and round aggregates legitimately depend on the round
+// schedule and are K-variant; TestObservabilityWorkerInvariant pins those.)
+func TestHistogramsKInvariant(t *testing.T) {
+	var refStep []string
+	var refDedup string
+	serveMix(t, mixConfig(1, 1), func(s *Server) {
+		for _, tn := range s.tenants {
+			refStep = append(refStep, histString(tn.hStep))
+		}
+		refDedup = histString(s.hDedup)
+		if s.hDedup.Count() == 0 || s.hRoundMakespan.Count() == 0 {
+			t.Fatal("histograms empty — instrumentation not wired")
+		}
+	})
+	for _, K := range []int{2, 4, 8} {
+		serveMix(t, mixConfig(K, 0), func(s *Server) {
+			for i, tn := range s.tenants {
+				if got := histString(tn.hStep); got != refStep[i] {
+					t.Errorf("K=%d tenant %s step-time histogram diverged:\n got %s\nwant %s",
+						K, tn.cfg.Name, got, refStep[i])
+				}
+			}
+			if got := histString(s.hDedup); got != refDedup {
+				t.Errorf("K=%d dedup histogram diverged:\n got %s\nwant %s", K, got, refDedup)
+			}
+		})
+	}
+}
+
+// TestObservabilityWorkerInvariant: worker count is pure wall-clock
+// parallelism, so EVERYTHING the observability layer records — the full
+// flight JSON and every histogram — must be bit-for-bit identical across
+// worker counts at fixed K.
+func TestObservabilityWorkerInvariant(t *testing.T) {
+	type snap struct {
+		flight string
+		hists  []string
+	}
+	take := func(s *Server) snap {
+		var buf bytes.Buffer
+		if err := s.WriteFlight(&buf); err != nil {
+			t.Fatal(err)
+		}
+		sn := snap{flight: buf.String()}
+		for _, tn := range s.tenants {
+			sn.hists = append(sn.hists, histString(tn.hStep), histString(tn.hWait))
+		}
+		sn.hists = append(sn.hists, histString(s.hRoundActive),
+			histString(s.hRoundMakespan), histString(s.hRoundWork), histString(s.hDedup))
+		return sn
+	}
+	var ref snap
+	serveMix(t, mixConfig(4, 1), func(s *Server) {
+		ref = take(s)
+		if s.flight.Total() == 0 {
+			t.Fatal("flight recorder empty")
+		}
+	})
+	for _, workers := range []int{2, 0} {
+		serveMix(t, mixConfig(4, workers), func(s *Server) {
+			got := take(s)
+			if got.flight != ref.flight {
+				t.Errorf("workers=%d flight dump diverged:\n got %s\nwant %s", workers, got.flight, ref.flight)
+			}
+			for i := range ref.hists {
+				if got.hists[i] != ref.hists[i] {
+					t.Errorf("workers=%d histogram %d diverged: got %s want %s", workers, i, got.hists[i], ref.hists[i])
+				}
+			}
+		})
+	}
+}
+
+// TestFlightReplayParity: a scripted run's flight dump and histograms are
+// reproduced exactly by PlayScript on a fresh server — the serve-level
+// half of the `serve replay -flight` contract.
+func TestFlightReplayParity(t *testing.T) {
+	script := []replay.ScriptEvent{
+		{Round: 0, Tenant: 0, Credits: 3},
+		{Round: 0, Tenant: 1, Credits: 6}, // overflows cap 4 → deterministic reject
+		{Round: 2, Tenant: 0, Credits: 2},
+		{Round: 3, K: 2},
+		{Round: 5, Tenant: 1, Credits: 1},
+		{Round: 7, K: 1},
+		{Round: 9}, // drain
+	}
+	const rounds = 14
+	run := func() (string, []string, uint64) {
+		s, err := NewServer(externalPair())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		s.PlayScript(script, rounds)
+		var buf bytes.Buffer
+		if err := s.WriteFlight(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var hists []string
+		for _, tn := range s.tenants {
+			hists = append(hists, histString(tn.hStep), histString(tn.hWait))
+		}
+		hists = append(hists, histString(s.hRoundActive), histString(s.hRoundWork), histString(s.hDedup))
+		return buf.String(), hists, s.Fingerprint()
+	}
+	flight1, hists1, fp1 := run()
+	flight2, hists2, fp2 := run()
+	if flight1 != flight2 {
+		t.Errorf("flight dump not reproducible:\n%s\nvs\n%s", flight1, flight2)
+	}
+	for i := range hists1 {
+		if hists1[i] != hists2[i] {
+			t.Errorf("histogram %d not reproducible: %s vs %s", i, hists1[i], hists2[i])
+		}
+	}
+	if fp1 != fp2 {
+		t.Errorf("fingerprint not reproducible: %x vs %x", fp1, fp2)
+	}
+	for _, frag := range []string{
+		`"kind":"submit","tenant":"ext1","accepted":4,"rejected":2`,
+		`"kind":"resize","from":1,"to":2`,
+		`"kind":"resize","from":2,"to":1`,
+		`"kind":"drain"`,
+		`"kind":"round"`,
+	} {
+		if !strings.Contains(flight1, frag) {
+			t.Errorf("flight dump missing %q:\n%s", frag, flight1)
+		}
+	}
+}
+
+// TestGoldenExposition pins the full /metrics exposition of a deterministic
+// two-tenant run — families, label escaping, histogram bucket series and
+// their order — and re-renders after an online Resize to prove the scrape
+// never carries stale shard-labeled families. Regenerate with
+// `go test ./internal/serve -run TestGoldenExposition -update`.
+func TestGoldenExposition(t *testing.T) {
+	s, err := NewServer(Config{
+		Tenants: []TenantConfig{
+			{Name: "alpha", Band: 0, Procs: 8, Arrival: Arrival{Window: 2},
+				Source: NewPatternSource(replay.Uniform, 8, 6, 1)},
+			{Name: "beta", Band: 1, Procs: 8, Arrival: Arrival{Window: 2},
+				Source: NewPatternSource(replay.Hotspot, 8, 6, 2)},
+		},
+		Bands: 2, Engines: 2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var reg prom.Registry
+	s.Metrics(&reg)
+	if err := s.ServeAll(100); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string) {
+		t.Helper()
+		var buf bytes.Buffer
+		if _, err := reg.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join("testdata", name)
+		if *updateGolden {
+			if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v (regenerate with -update)", err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("exposition diverged from %s (regenerate with -update if intended):\n--- got ---\n%s", path, buf.String())
+		}
+	}
+	check("golden_metrics.txt")
+
+	// Shrink to K=1: tenant beta moves to shard 0. The re-rendered scrape
+	// must carry the new placement and drop every shard="1" series.
+	s.Resize(1)
+	check("golden_metrics_resized.txt")
+	var buf bytes.Buffer
+	if _, err := reg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `shard="1"`) {
+		t.Error("post-resize exposition still carries shard=\"1\" series")
+	}
+	if !strings.Contains(buf.String(), `pramsim_serve_tenant_steps_total{tenant="beta",band="1",shard="0"}`) {
+		t.Error("post-resize exposition missing beta's shard=\"0\" placement")
+	}
+}

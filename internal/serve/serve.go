@@ -59,12 +59,46 @@
 // the resize rounds and the submissions into the arrival script — but a
 // DIFFERENT K schedule may split the same submissions differently between
 // served and rejected. Replays therefore re-apply the recorded resizes at
-// their recorded rounds instead of re-running the autoscaler policy.
+// their recorded rounds instead of re-running the autoscaler policy; when
+// the script's meta line carries the recorded policy, a replay can instead
+// run a SHADOW autoscaler (PlayScriptObserved), which reproduces the same
+// resize stream — the script's own resize events become no-ops — plus the
+// autoscaler's decision records in the flight recorder.
+//
+// # Observability
+//
+// The serving lane observes itself in VIRTUAL time, with the same
+// determinism contract as everything else: every measurement is a pure
+// function of (seed, specs, script), so two runs of one deployment produce
+// bit-for-bit identical telemetry, and `serve replay` reproduces a live
+// run's telemetry exactly.
+//
+//   - Histograms (prom.Histogram, power-of-two buckets, int64 hot path):
+//     per-tenant simulated step time and queue-wait rounds, per-round
+//     makespan / summed work / active-shard occupancy, and post-dedup
+//     quorum batch sizes (via Pool.LastDedupRequests — free, no StepSink).
+//     All render as Prometheus histogram families on /metrics. For finite
+//     mixes served to completion the step-time and dedup families are
+//     K-invariant (the step multiset is); wait/occupancy families depend
+//     on the round schedule and are invariant across worker counts only.
+//   - The flight recorder (FlightRecorder) is the lane's black box: a
+//     fixed-size ring of structured round records — admissions and their
+//     accept/reject splits, arrival-overflow rejections, resizes, drain,
+//     and every autoscaler decision WITH its window inputs (rejection /
+//     executed / merged deltas, queue fill, mean occupancy, merge
+//     fraction). GET /debug/flight and Server.WriteFlight dump it as
+//     deterministic JSON; appending is a struct store into a preallocated
+//     slot, and truncation is never silent (the dump counts what the ring
+//     dropped).
+//   - The wall-clock side stays quarantined: HTTPOptions.Pprof optionally
+//     mounts the stdlib /debug/pprof/* handlers (host-process profiles,
+//     opt-in, wallclock-scoped http.go only).
 //
 // The per-round serving path — admission, scheduling, pool execution,
-// accounting — performs zero steady-state heap allocations
-// (TestServeRoundZeroAllocs), extending the repository's invariant one
-// layer further up the stack.
+// accounting, histogram observation and flight recording — performs zero
+// steady-state heap allocations (TestServeRoundZeroAllocs,
+// TestSubmitZeroAllocs, TestFlightPushZeroAllocs), extending the
+// repository's invariant one layer further up the stack.
 package serve
 
 import (
@@ -74,6 +108,7 @@ import (
 	"repro/internal/memmap"
 	"repro/internal/model"
 	"repro/internal/mot"
+	"repro/internal/prom"
 	"repro/internal/quorum"
 	"repro/internal/replay"
 )
@@ -262,6 +297,9 @@ type Config struct {
 	// QueueCap is the default per-tenant admission-queue capacity in step
 	// credits (0 → 8).
 	QueueCap int
+	// FlightDepth sizes the flight recorder's event ring (0 → 512). The
+	// ring keeps the most recent events and counts what it overwrote.
+	FlightDepth int
 	// Logf, when non-nil, receives one-shot degradation warnings (band
 	// overlap at admission, first forced merge, source failures). It is
 	// never called on the steady-state path.
@@ -294,6 +332,37 @@ type tenant struct {
 	errSteps  int64
 	hash      uint64
 	srcErr    error
+
+	// Queue-wait tracking: a FIFO ring of admission rounds, one entry per
+	// queued credit (capacity = the tenant's queue cap, so it can never
+	// overflow). Popping on execution yields the credit's wait in virtual
+	// rounds, observed into hWait.
+	waitRing []int64
+	waitHead int
+	waitLen  int
+
+	// Per-tenant distributions (virtual time; K- and worker-invariant for
+	// finite mixes run to completion, see the package doc).
+	hStep *prom.Histogram // per-step simulated time
+	hWait *prom.Histogram // queue wait in rounds per executed credit
+}
+
+// pushWait records one admitted credit's admission round.
+//
+//pram:hotpath
+func (t *tenant) pushWait(r int64) {
+	t.waitRing[(t.waitHead+t.waitLen)%len(t.waitRing)] = r
+	t.waitLen++
+}
+
+// popWait removes the oldest queued credit's admission round.
+//
+//pram:hotpath
+func (t *tenant) popWait() int64 {
+	r := t.waitRing[t.waitHead]
+	t.waitHead = (t.waitHead + 1) % len(t.waitRing)
+	t.waitLen--
+	return r
 }
 
 // Server multiplexes the tenant mix onto the engine pool. All methods must
@@ -339,9 +408,29 @@ type Server struct {
 
 	rec *replay.Recorder // live trace capture (tenant-lane), nil when off
 
+	// Observability: the flight recorder and the server-wide round
+	// distributions (all virtual-time; observation is allocation-free).
+	flight         *FlightRecorder
+	hRoundActive   *prom.Histogram // active shards per executed round
+	hRoundMakespan *prom.Histogram // max shard step time per executed round
+	hRoundWork     *prom.Histogram // summed shard step time per executed round
+	hDedup         *prom.Histogram // post-dedup requests per executed step
+
 	logf        func(string, ...any)
 	loggedMerge bool
 }
+
+// Histogram bucket counts (finite power-of-two buckets; see prom.Histogram).
+// Fixed at construction so bucket layouts — part of the exposition — never
+// depend on K, worker counts, or the traffic observed.
+const (
+	stepTimeBuckets    = 24 // per-step simulated time (cycles under MOT2D)
+	queueWaitBuckets   = 16 // queue wait in rounds
+	occupancyBuckets   = 8  // active shards per round
+	roundCostBuckets   = 24 // per-round makespan/work
+	dedupBuckets       = 16 // post-dedup requests per step
+	defaultFlightDepth = 512
+)
 
 // NewServer builds the deployment: a Lemma 2 parameter point at
 // maxProcs·Bands total processors, a map banded by the TENANT band count
@@ -474,6 +563,15 @@ func NewServer(cfg Config) (s *Server, err error) {
 		execTenant: make([]int32, k),
 		logf:       cfg.Logf,
 	}
+	depth := cfg.FlightDepth
+	if depth == 0 {
+		depth = defaultFlightDepth
+	}
+	s.flight = NewFlightRecorder(depth)
+	s.hRoundActive = prom.NewHistogram(occupancyBuckets)
+	s.hRoundMakespan = prom.NewHistogram(roundCostBuckets)
+	s.hRoundWork = prom.NewHistogram(roundCostBuckets)
+	s.hDedup = prom.NewHistogram(dedupBuckets)
 	qcap := cfg.QueueCap
 	if qcap == 0 {
 		qcap = 8
@@ -529,6 +627,9 @@ func NewServer(cfg Config) (s *Server, err error) {
 				}
 			}
 		}
+		t.waitRing = make([]int64, t.cap)
+		t.hStep = prom.NewHistogram(stepTimeBuckets)
+		t.hWait = prom.NewHistogram(queueWaitBuckets)
 		if owner, taken := bandOwner[tc.Band]; taken {
 			// The silent-degradation gap: two tenants on one band always
 			// serialize behind one shard queue. Count and warn — never
@@ -603,6 +704,7 @@ func (s *Server) Submit(id, n int) (accepted, rejected int) {
 	t.submitted += int64(n)
 	if s.draining || t.done {
 		t.rejected += int64(n)
+		s.flight.push(FlightEvent{Round: s.round, Kind: FlightSubmit, Tenant: int32(id), B: int64(n)})
 		return 0, n
 	}
 	accepted = n
@@ -615,6 +717,11 @@ func (s *Server) Submit(id, n int) (accepted, rejected int) {
 	if t.credits > t.maxQueue {
 		t.maxQueue = t.credits
 	}
+	for i := 0; i < accepted; i++ {
+		t.pushWait(s.round)
+	}
+	s.flight.push(FlightEvent{Round: s.round, Kind: FlightSubmit, Tenant: int32(id),
+		A: int64(accepted), B: int64(rejected)})
 	return accepted, rejected
 }
 
@@ -645,6 +752,7 @@ func (s *Server) Resize(k int) {
 		s.byShard[t.shard] = append(s.byShard[t.shard], t.id)
 	}
 	s.resizes++
+	s.flight.push(FlightEvent{Round: s.round, Kind: FlightResize, K: int32(prev), To: int32(k)})
 	if s.logf != nil {
 		s.logf("serve: resized K %d -> %d (round %d, %d tenants re-banded)", prev, k, s.round, len(s.tenants))
 	}
@@ -743,11 +851,15 @@ func (s *Server) Round() int {
 			t.submitted += int64(n)
 			if room := t.cap - t.credits; n > room {
 				t.rejected += int64(n - room)
+				s.flight.push(FlightEvent{Round: r, Kind: FlightReject, Tenant: int32(t.id), A: int64(n - room)})
 				n = room
 			}
 			t.credits += n
 			if t.credits > t.maxQueue {
 				t.maxQueue = t.credits
+			}
+			for i := 0; i < n; i++ {
+				t.pushWait(r)
 			}
 		}
 	}
@@ -773,6 +885,7 @@ func (s *Server) Round() int {
 				// submitted == steps + queue + rejected + unserved holds.
 				t.unserved += int64(t.credits)
 				t.credits = 0
+				t.waitHead, t.waitLen = 0, 0 // voided credits never observe a wait
 				if err := t.src.Err(); err != nil {
 					t.srcErr = err
 					if s.logf != nil {
@@ -783,6 +896,7 @@ func (s *Server) Round() int {
 				continue
 			}
 			t.credits--
+			t.hWait.Observe(r - t.popWait())
 			s.batches[sh] = b
 			s.execTenant[sh] = int32(t.id)
 			s.cursor[sh] = (start + j + 1) % len(ts)
@@ -796,7 +910,8 @@ func (s *Server) Round() int {
 	}
 	_, reports := s.pool.ExecuteSteps(s.batches)
 	s.execRounds++
-	if merges := s.k - s.pool.LastComponents(); merges > 0 {
+	merges := s.k - s.pool.LastComponents()
+	if merges > 0 {
 		s.forcedMerges += int64(merges)
 		s.mergedRounds++
 		if s.logf != nil && !s.loggedMerge {
@@ -805,13 +920,26 @@ func (s *Server) Round() int {
 			s.logf("serve: round %d forced %d serial-component merge(s): cross-band traffic is eroding the disjoint fast path (ForcedMerges counts every one)", r, merges)
 		}
 	}
+	var makespan, work int64
 	for sh := range s.execTenant {
 		id := s.execTenant[sh]
 		if id < 0 {
 			continue
 		}
-		s.tenants[id].note(&reports[sh])
+		rep := &reports[sh]
+		s.tenants[id].note(rep)
+		s.tenants[id].hStep.Observe(rep.Time)
+		s.hDedup.Observe(int64(s.pool.LastDedupRequests(sh)))
+		work += rep.Time
+		if rep.Time > makespan {
+			makespan = rep.Time
+		}
 	}
+	s.hRoundActive.Observe(int64(s.pool.LastActive()))
+	s.hRoundMakespan.Observe(makespan)
+	s.hRoundWork.Observe(work)
+	s.flight.push(FlightEvent{Round: r, Kind: FlightRound, K: int32(s.k),
+		A: int64(scheduled), B: int64(merges), C: int64(s.pool.LastActive())})
 	return scheduled
 }
 
@@ -873,8 +1001,14 @@ func (s *Server) Run(rounds int) {
 // accepted, closed-loop windows stop replenishing, Submit rejects — without
 // executing any rounds. The replay path uses it to reproduce a recorded
 // drain transition at its recorded round; interactive callers usually want
-// Drain, which also runs the queues dry.
-func (s *Server) StopAdmission() { s.draining = true }
+// Drain, which also runs the queues dry. The false→true transition is a
+// flight event, recorded once.
+func (s *Server) StopAdmission() {
+	if !s.draining {
+		s.draining = true
+		s.flight.push(FlightEvent{Round: s.round, Kind: FlightDrain})
+	}
+}
 
 // Drain stops admission — open-loop arrivals are no longer accepted,
 // closed-loop windows stop replenishing — and keeps executing rounds until
@@ -882,7 +1016,7 @@ func (s *Server) StopAdmission() { s.draining = true }
 // shutdown half of a serving deployment: every admitted credit either
 // executes or is counted (Unserved) when its source ends first.
 func (s *Server) Drain() {
-	s.draining = true
+	s.StopAdmission()
 	for {
 		live := false
 		for _, t := range s.tenants {
@@ -927,6 +1061,19 @@ func (s *Server) ServeAll(maxRounds int) error {
 // specs and seed this reproduces the live run bit-for-bit; re-record the
 // replay through StartTrace and even the trace bytes come out identical.
 func (s *Server) PlayScript(events []replay.ScriptEvent, rounds int64) {
+	s.PlayScriptObserved(events, rounds, nil)
+}
+
+// PlayScriptObserved is PlayScript with a per-round observer hook: observe
+// (when non-nil) runs after every executed round until the script's drain
+// event has been applied — exactly when the live HTTP loop consults its
+// autoscaler (HTTPServer.Tick observes after every Round; the drain rounds
+// inside Shutdown are not observed). Replaying with a shadow autoscaler
+// built from the recorded policy therefore reproduces the live decision
+// stream — including the flight recorder's "why" records — while the
+// script's own resize events become no-ops (Resize at the already-current
+// K returns immediately).
+func (s *Server) PlayScriptObserved(events []replay.ScriptEvent, rounds int64, observe func()) {
 	i := 0
 	for r := int64(0); r < rounds; r++ {
 		for i < len(events) && events[i].Round <= r {
@@ -934,6 +1081,9 @@ func (s *Server) PlayScript(events []replay.ScriptEvent, rounds int64) {
 			i++
 		}
 		s.Round()
+		if observe != nil && !s.draining {
+			observe()
+		}
 	}
 	for i < len(events) {
 		s.applyEvent(events[i])
@@ -984,6 +1134,16 @@ type TenantStats struct {
 
 // NumTenants returns the mix size.
 func (s *Server) NumTenants() int { return len(s.tenants) }
+
+// Flight exposes the server's flight recorder (diagnostics and tests).
+func (s *Server) Flight() *FlightRecorder { return s.flight }
+
+// WriteFlight dumps the flight recorder as deterministic JSON with tenant
+// ids resolved to names. Call between rounds (or after drain); dumping
+// allocates and is not part of the hot path.
+func (s *Server) WriteFlight(w io.Writer) error {
+	return s.flight.WriteJSON(w, func(id int) string { return s.tenants[id].cfg.Name })
+}
 
 // TenantStats returns tenant i's account.
 func (s *Server) TenantStats(i int) TenantStats {
