@@ -492,6 +492,27 @@ func main() {
 			snap.Results = append(snap.Results, measureServe("E14ServeStep/T=4/K=4", s, 4))
 			s.Close()
 		}
+		// The same steady-state point with a deliberately tiny span ring
+		// (depth 64, so every round overwrites): span recording must ride
+		// the serving hot path at 0 allocs/op, and diffing this point
+		// against E14ServeStep bounds its overhead.
+		{
+			cfg := serve.Config{Bands: 2, Engines: 2, Seed: 7, SpanDepth: 64}
+			for i := 0; i < 2; i++ {
+				cfg.Tenants = append(cfg.Tenants, serve.TenantConfig{
+					Name: fmt.Sprintf("g%d", i), Band: i, Procs: 32,
+					Arrival: serve.Arrival{Window: 2},
+					Source:  serve.NewPatternSource(replay.Uniform, 32, 0, int64(100+i)),
+				})
+			}
+			s, err := serve.NewServer(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "E14 spans build:", err)
+				os.Exit(1)
+			}
+			snap.Results = append(snap.Results, measureServe("E14ServeStepSpans/T=2/K=2", s, 2))
+			s.Close()
+		}
 		// The same steady-state point with per-shard 2DMOT meshes behind
 		// the pool (2 × 64 procs → a 512-side grid per engine): tracks the
 		// mesh-backed serving hot path's zero-alloc invariant in the

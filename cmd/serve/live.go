@@ -215,6 +215,7 @@ func cmdHTTP(args []string) error {
 	scriptOut := fs.String("record-script", "", "record the arrival script (PRAMARS1) to FILE")
 	traceOut := fs.String("record-trace", "", "record the executed steps (PRAMTRC1) to FILE")
 	flightOut := fs.String("record-flight", "", "dump the flight recorder (JSON) to FILE at shutdown")
+	spansOut := fs.String("record-spans", "", "dump the span recorder (Perfetto trace JSON) to FILE at shutdown")
 	pprofOn := fs.Bool("pprof", false, "mount the stdlib /debug/pprof/* handlers (wall-clock host profiles)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -318,6 +319,21 @@ func cmdHTTP(args []string) error {
 		}
 		fmt.Printf("flight dump: %s\n", *flightOut)
 	}
+	if *spansOut != "" {
+		f, ferr := os.Create(*spansOut)
+		if ferr == nil {
+			if werr := s.WriteSpans(f); werr != nil && ferr == nil {
+				ferr = werr
+			}
+			if cerr := f.Close(); cerr != nil && ferr == nil {
+				ferr = cerr
+			}
+		}
+		if ferr != nil && err == nil {
+			err = ferr
+		}
+		fmt.Printf("span dump: %s\n", *spansOut)
+	}
 	if *scriptOut != "" {
 		fmt.Printf("arrival script: %s\n", *scriptOut)
 	}
@@ -332,6 +348,7 @@ func cmdReplay(args []string) error {
 	script := fs.String("script", "", "PRAMARS1 arrival script to replay (required)")
 	trace := fs.String("trace", "", "recorded PRAMTRC1 trace to byte-compare against the replay's re-recording")
 	flight := fs.String("flight", "", "recorded flight dump (JSON) to byte-compare against the replay's flight recorder")
+	spans := fs.String("spans", "", "recorded span dump (Perfetto trace JSON) to byte-compare against the replay's span recorder")
 	verbose := fs.Bool("v", false, "log degradation warnings to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -417,6 +434,20 @@ func cmdReplay(args []string) error {
 			return fmt.Errorf("replayed flight dump differs from %s (%d vs %d bytes)", *flight, len(recorded), redump.Len())
 		}
 		fmt.Printf("flight: byte-identical to %s (%d bytes, %d events)\n", *flight, redump.Len(), s.Flight().Len())
+	}
+	if *spans != "" {
+		recorded, err := os.ReadFile(*spans)
+		if err != nil {
+			return err
+		}
+		var redump bytes.Buffer
+		if err := s.WriteSpans(&redump); err != nil {
+			return err
+		}
+		if !bytes.Equal(recorded, redump.Bytes()) {
+			return fmt.Errorf("replayed span dump differs from %s (%d vs %d bytes)", *spans, len(recorded), redump.Len())
+		}
+		fmt.Printf("spans: byte-identical to %s (%d bytes, %d spans)\n", *spans, redump.Len(), s.Spans().Len())
 	}
 	if *trace != "" {
 		recorded, err := os.ReadFile(*trace)

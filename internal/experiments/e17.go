@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/replay"
+	"repro/internal/serve"
+	"repro/internal/stats"
+)
+
+// E17StageAttribution sweeps workload shape × engine count K over the
+// serving lane and reports where each run's simulated time went, using
+// the span recorder's stage split: the quorum (retrieval) leg versus the
+// commit (update) leg, summed per run as WORK (over all tenant steps)
+// and as MAKESPAN (each round's critical shard only). The whole sweep is
+// virtual-time — no wall clock touches any column — so the table is
+// bit-for-bit reproducible. Band-local shapes demonstrate the
+// K-invariance the serve package proves: their work-side quorum/commit
+// totals are identical at every K, because every tenant executes the
+// same step multiset regardless of how many engines carry it. The
+// critical-path split and the forced-merge census are schedule
+// properties and legitimately move with K — the global (cross-band)
+// shape shows merges growing as K does, the erosion the partition stage
+// spans make visible. Render with `cmd/experiments -csv e17`.
+func E17StageAttribution() Result {
+	const (
+		tenants = 4
+		procs   = 32
+		steps   = 12
+	)
+	tb := stats.NewTable("shape", "K", "steps", "quorum", "commit", "quorum share",
+		"crit quorum", "crit commit", "crit share", "merges")
+	shapes := []struct {
+		name   string
+		pat    replay.Pattern
+		global bool
+	}{
+		{"uniform", replay.Uniform, false},
+		{"hotspot", replay.Hotspot, false},
+		{"broadcast", replay.Broadcast, false},
+		{"global", replay.Uniform, true},
+	}
+	share := func(a, b int64) string {
+		if a+b == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.3f", float64(a)/float64(a+b))
+	}
+	for _, sh := range shapes {
+		for _, K := range []int{1, 2, 4} {
+			cfg := serve.Config{Bands: tenants, Engines: K, Seed: 7}
+			for i := 0; i < tenants; i++ {
+				tc := serve.TenantConfig{
+					Name:    fmt.Sprintf("%s%d", sh.name, i),
+					Band:    i,
+					Procs:   procs,
+					Arrival: serve.Arrival{Window: 2},
+				}
+				if sh.global {
+					tc.Source = serve.NewGlobalPatternSource(sh.pat, procs, steps, int64(101+i))
+				} else {
+					tc.Source = serve.NewPatternSource(sh.pat, procs, steps, int64(101+i))
+				}
+				cfg.Tenants = append(cfg.Tenants, tc)
+			}
+			s, err := serve.NewServer(cfg)
+			if err != nil {
+				// The sweep's parameter points are static and feasible; an
+				// error here is a programming bug, not a data point.
+				panic(err)
+			}
+			if err := s.ServeAll(4096); err != nil {
+				s.Close()
+				panic(err)
+			}
+			var q, c, executed int64
+			for i := 0; i < s.NumTenants(); i++ {
+				ts := s.TenantStats(i)
+				q += ts.QuorumTime
+				c += ts.CommitTime
+				executed += ts.Steps
+			}
+			ss := s.Stats()
+			s.Close()
+			tb.AddRow(sh.name, K, executed, q, c, share(q, c),
+				ss.CritQuorumTime, ss.CritCommitTime,
+				share(ss.CritQuorumTime, ss.CritCommitTime), ss.ForcedMerges)
+		}
+	}
+	return Result{
+		ID:    "E17",
+		Title: "Stage attribution sweep: quorum vs commit share of work and makespan over shape × K",
+		Claim: "the span recorder's quorum/commit split tiles every tenant's simulated time exactly, and " +
+			"for band-local shapes the work-side split is K-invariant (the step multiset is); " +
+			"only the critical-path split and the forced-merge census move with K, because they " +
+			"are properties of the round schedule, not of the computation",
+		Table: tb,
+		Notes: []string{
+			"quorum/commit sum WORK over all tenant steps; crit quorum/commit sum each round's critical-shard MAKESPAN split",
+			"band-local rows (uniform/hotspot/broadcast) repeat identical quorum/commit totals at every K — the serve package's K-invariance, per stage",
+			"the global shape deliberately crosses bands: forced serial-component merges appear once K > 1 and grow with it",
+			"all columns are virtual-time and bit-for-bit reproducible; `serve spans` renders the same decomposition per round as a Perfetto trace",
+		},
+	}
+}

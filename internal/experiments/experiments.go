@@ -67,10 +67,11 @@ var registry = map[string]Runner{
 	"e10": E10Ablations,
 	"e11": E11Slowdown,
 	"e14": E14ReplaySweep,
+	"e17": E17StageAttribution,
 }
 
 // order fixes the presentation sequence (numeric, not lexicographic).
-var order = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e14"}
+var order = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e14", "e17"}
 
 // IDs returns the registered experiment ids in numeric order.
 func IDs() []string {

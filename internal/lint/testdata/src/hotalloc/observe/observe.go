@@ -65,3 +65,31 @@ func (w *waiter) popWait() int64 {
 	w.live--
 	return r
 }
+
+type spanEvent struct {
+	round, start, dur int64
+	stage             uint8
+	track             int32
+	a, b, c           int64
+}
+
+type spanRecorder struct {
+	ring  []spanEvent
+	total int64
+	vt    int64
+}
+
+// pushSpan/advance: the span-recorder hot pair — a flat struct store into
+// a preallocated ring slot (overwriting the oldest once full) plus
+// virtual-clock arithmetic. No labels, no maps, no boxing.
+//
+//pram:hotpath
+func (r *spanRecorder) pushSpan(ev spanEvent) {
+	r.ring[r.total%int64(len(r.ring))] = ev
+	r.total++
+}
+
+//pram:hotpath
+func (r *spanRecorder) advance(d int64) {
+	r.vt += d
+}

@@ -43,3 +43,19 @@ func (h *histogram) observe(v int64, out sink) string {
 	_ = track()
 	return fmt.Sprintf("%d", v) // want "fmt\\.Sprintf in hot path observe: formatting allocates"
 }
+
+type spanRecorder struct {
+	spans []event
+}
+
+// pushSpan materialises labels per span — a stringly-typed stage name and
+// boxed args — instead of storing a flat struct into an owned ring.
+//
+//pram:hotpath
+func (r *spanRecorder) pushSpan(round int64, out sink, args []any) []any {
+	name := fmt.Sprintf("round-%d", round) // want "fmt\\.Sprintf in hot path pushSpan: formatting allocates"
+	out.accept(name)                       // want "argument boxes string into any in hot path pushSpan"
+	boxed := any(round)                    // want "conversion boxes int64 into any in hot path pushSpan"
+	args = append(args, boxed)             // want "append to args in hot path pushSpan"
+	return args
+}

@@ -58,6 +58,22 @@ type Stats struct {
 	MaxQueue   int   // deepest module backlog observed in any cycle
 }
 
+// Sub returns the counter deltas s−prev for a window bounded by two
+// snapshots of one network's Stats. Cycles, Hops, Collisions and Served
+// are monotone counters, so the differences are the window's activity;
+// MaxQueue is a running maximum, not a counter — the result carries the
+// current value unchanged (a per-window peak needs the per-step
+// ModuleContention report instead).
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Cycles:     s.Cycles - prev.Cycles,
+		Hops:       s.Hops - prev.Hops,
+		Collisions: s.Collisions - prev.Collisions,
+		Served:     s.Served - prev.Served,
+		MaxQueue:   s.MaxQueue,
+	}
+}
+
 // Network is a 2DMOT with a synchronous packet switch fabric. It implements
 // quorum.Interconnect, so it slots into the quorum engine exactly where the
 // complete bipartite graph of the DMMPC does — same protocol, real network.

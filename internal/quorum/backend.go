@@ -58,6 +58,16 @@ type Machine struct {
 	sink StepSink
 	lane int
 
+	// Read-leg breakdown of the most recent ExecuteStep, captured before
+	// the write batch clobbers the engine's shared result buffers: the
+	// retrieval leg's time and phase count plus the step's live-request
+	// area (Σ live counts over both legs' phase traces). Free accessors
+	// (LastStepBreakdown) in the LastDedupRequests mold; the serving
+	// lane's span recorder reads them instead of attaching a StepSink.
+	lastReadTime   int64
+	lastReadPhases int
+	lastLiveArea   int64
+
 	sc stepScratch
 }
 
@@ -259,8 +269,18 @@ func (m *Machine) ExecuteStep(batch model.Batch) model.StepReport {
 		}
 	}
 	readLastLive := lastLive(rres)
+	m.lastReadTime = rres.Time
+	m.lastReadPhases = rres.Phases
+	area := int64(0)
+	for _, l := range rres.LiveTrace {
+		area += int64(l)
+	}
 
 	wres := m.runBatch(writeReqs)
+	for _, l := range wres.LiveTrace {
+		area += int64(l)
+	}
+	m.lastLiveArea = area
 	rep = m.assembleReport(rep, rres, wres, readLastLive)
 
 	if m.sink != nil {
@@ -279,6 +299,23 @@ func (m *Machine) ExecuteStep(batch model.Batch) model.StepReport {
 func (m *Machine) LastDedupRequests() int {
 	return len(m.sc.readReqs) + len(m.sc.writeReqs)
 }
+
+// LastStepBreakdown reports the most recent ExecuteStep's per-leg split:
+// the retrieval (read-quorum) leg's simulated time and phase count, and
+// the step's live-request area — the integral of the engine's LiveTrace
+// decay curve over both legs' phases. The values are captured into
+// machine scratch before the write batch reuses the engine's result
+// buffers, so exposing them is free; the commit leg's time is the step
+// report's Time minus readTime. ExecuteDedupStep (the replay entry
+// point) does not update it.
+func (m *Machine) LastStepBreakdown() (readTime int64, readPhases int, liveArea int64) {
+	return m.lastReadTime, m.lastReadPhases, m.lastLiveArea
+}
+
+// Interconnect exposes the machine's fabric. The serving lane's span
+// recorder type-asserts it to read cycle/hop counter deltas off
+// cycle-timed networks; tuning knobs stay on Engine.
+func (m *Machine) Interconnect() Interconnect { return m.eng.net }
 
 // assembleReport fills the cost and error fields of a step report from the
 // read- and write-batch results. Only the scalar fields of rres are read

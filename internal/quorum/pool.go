@@ -266,6 +266,21 @@ func (p *Pool) LastDedupRequests(sh int) int {
 	return p.machines[sh].LastDedupRequests()
 }
 
+// LastStepBreakdown reports the per-leg split — read-quorum time, read
+// phases, live-request area — of the step shard sh most recently
+// executed through ExecuteSteps (Machine.LastStepBreakdown). Like
+// LastDedupRequests it reads shard-machine scratch, so observing it is
+// free; valid between rounds for shards that executed a non-empty batch.
+func (p *Pool) LastStepBreakdown(sh int) (readTime int64, readPhases int, liveArea int64) {
+	return p.machines[sh].LastStepBreakdown()
+}
+
+// ShardInterconnect exposes shard sh's fabric (Machine.Interconnect) so
+// observers can read per-shard routing counters without a StepSink.
+func (p *Pool) ShardInterconnect(sh int) Interconnect {
+	return p.machines[sh].Interconnect()
+}
+
 // Close retires the pool's background executor goroutines NOW instead of
 // waiting for the runtime cleanup at collection time — the graceful-
 // shutdown hook of a serving deployment. The pool stays usable: a later

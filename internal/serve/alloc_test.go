@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/replay"
+	"repro/internal/span"
 )
 
 // TestServeRoundZeroAllocs locks the serving hot path's steady-state
@@ -59,6 +60,27 @@ func TestFlightPushZeroAllocs(t *testing.T) {
 		t.Errorf("flight push allocates %.2f/op, want 0", avg)
 	}
 	if f.Dropped() == 0 {
+		t.Error("ring never wrapped — the test did not cover the overwrite path")
+	}
+}
+
+// TestSpanPushZeroAllocs locks the span recorder's append: a flat struct
+// store into a preallocated ring slot plus virtual-clock arithmetic, even
+// once the ring wraps. (TestServeRoundZeroAllocs covers the same path
+// end-to-end: Round emits its per-stage spans inside the 0-alloc budget.)
+func TestSpanPushZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation invariants are measured without the race detector")
+	}
+	r := span.NewRecorder(8)
+	if avg := testing.AllocsPerRun(200, func() {
+		r.Push(span.Event{Round: r.Total(), Start: r.Now(), Dur: 3,
+			Stage: span.StageQuorum, Track: 1, A: 2, B: 5})
+		r.Advance(3)
+	}); avg != 0 {
+		t.Errorf("span push allocates %.2f/op, want 0", avg)
+	}
+	if r.Dropped() == 0 {
 		t.Error("ring never wrapped — the test did not cover the overwrite path")
 	}
 }

@@ -108,14 +108,25 @@ func (f *FlightRecorder) Events(dst []FlightEvent) []FlightEvent {
 // tenant id to its display name (nil renders bare ids). Dumping allocates;
 // it runs off the hot path (the /debug/flight handler, shutdown, replay).
 func (f *FlightRecorder) WriteJSON(w io.Writer, tenantName func(int) string) error {
+	return f.WriteJSONTail(w, tenantName, 0)
+}
+
+// WriteJSONTail is WriteJSON bounded to the most recent `limit` events
+// (limit <= 0 dumps everything retained). Truncation is never silent:
+// the dump's dropped count absorbs whatever the bound cut off, exactly
+// as it counts ring overwrites.
+func (f *FlightRecorder) WriteJSONTail(w io.Writer, tenantName func(int) string, limit int) error {
 	var err error
 	pf := func(format string, args ...any) {
 		if err == nil {
 			_, err = fmt.Fprintf(w, format, args...)
 		}
 	}
-	pf("{\"total\":%d,\"dropped\":%d,\"events\":[", f.total, f.Dropped())
 	n := int64(f.Len())
+	if limit > 0 && int64(limit) < n {
+		n = int64(limit)
+	}
+	pf("{\"total\":%d,\"dropped\":%d,\"events\":[", f.total, f.total-n)
 	for i := int64(0); i < n; i++ {
 		ev := &f.ring[(f.total-n+i)%int64(len(f.ring))]
 		if i > 0 {

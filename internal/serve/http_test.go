@@ -180,6 +180,102 @@ func TestHTTPFlightEndpoint(t *testing.T) {
 	}
 }
 
+// TestHTTPSpansEndpoint: /debug/spans serves the span recorder's
+// Perfetto trace — byte-identical to WriteSpans — and both debug
+// endpoints reject non-GET methods and honor a bounded ?limit=N.
+func TestHTTPSpansEndpoint(t *testing.T) {
+	s, err := NewServer(externalPair())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	h := NewHTTPServer(s, HTTPOptions{})
+	ts := httptest.NewServer(h.Handler())
+	defer ts.Close()
+
+	postSubmit(t, ts.URL, "ext0", 3)
+	postSubmit(t, ts.URL, "ext1", 2)
+	for i := 0; i < 4; i++ {
+		h.Tick()
+	}
+	resp, err := http.Get(ts.URL + "/debug/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/spans code %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/debug/spans content-type %q", ct)
+	}
+	var want bytes.Buffer
+	if err := s.WriteSpans(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want.Bytes()) {
+		t.Errorf("/debug/spans differs from WriteSpans:\nhttp:  %s\ndirect: %s", body, want.Bytes())
+	}
+	for _, frag := range []string{`"name":"quorum"`, `"name":"merge"`, `"clock":`} {
+		if !strings.Contains(string(body), frag) {
+			t.Errorf("span dump missing %q in %s", frag, body)
+		}
+	}
+
+	for _, path := range []string{"/debug/flight", "/debug/spans"} {
+		resp, err := http.Post(ts.URL+path, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s code %d, want 405", path, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != http.MethodGet {
+			t.Errorf("POST %s Allow %q, want GET", path, allow)
+		}
+		for _, bad := range []string{"0", "-3", "x"} {
+			resp, err = http.Get(ts.URL + path + "?limit=" + bad)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("GET %s?limit=%s code %d, want 400", path, bad, resp.StatusCode)
+			}
+		}
+	}
+
+	// A positive limit truncates oldest-first and says so: the dump's
+	// dropped counter absorbs the truncation, total stays the full count.
+	resp, err = http.Get(ts.URL + "/debug/spans?limit=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	total, kept := s.Spans().Total(), int64(2)
+	wantHeader := fmt.Sprintf(`"total":%d,"dropped":%d`, total, total-kept)
+	if !strings.Contains(string(body), wantHeader) {
+		t.Errorf("limited span dump missing %q in %s", wantHeader, body)
+	}
+	if got := int64(strings.Count(string(body), `"ph":"X"`)); got != kept {
+		t.Errorf("limited span dump carries %d spans, want %d", got, kept)
+	}
+	resp, err = http.Get(ts.URL + "/debug/flight?limit=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	ftotal := s.Flight().Total()
+	wantHeader = fmt.Sprintf(`"total":%d,"dropped":%d`, ftotal, ftotal-1)
+	if !strings.Contains(string(body), wantHeader) {
+		t.Errorf("limited flight dump missing %q in %s", wantHeader, body)
+	}
+}
+
 // TestHTTPPprofGate: the stdlib profile handlers exist on the mux only when
 // HTTPOptions.Pprof opts in.
 func TestHTTPPprofGate(t *testing.T) {

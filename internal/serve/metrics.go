@@ -19,6 +19,12 @@ type collector struct {
 	// accumulate across online resizes, so stamping them with a placement
 	// that can change mid-run would strand observations under stale series.
 	histLabels []string
+	// stageQuorumLabels/stageCommitLabels extend histLabels with the
+	// stage label for the per-tenant stage-time attribution families —
+	// like histLabels they deliberately omit the shard, so the series
+	// survive online resizes (and stay K-invariant, see the package doc).
+	stageQuorumLabels []string
+	stageCommitLabels []string
 }
 
 // Metrics registers the server's serving metrics with a prom.Registry.
@@ -47,10 +53,20 @@ func (c *collector) refreshLabels() {
 		c.shardLabels = append(c.shardLabels, prom.Label("shard", strconv.Itoa(sh)))
 	}
 	c.histLabels = c.histLabels[:0]
+	c.stageQuorumLabels = c.stageQuorumLabels[:0]
+	c.stageCommitLabels = c.stageCommitLabels[:0]
 	for _, t := range s.tenants {
 		c.histLabels = append(c.histLabels, prom.Labels(
 			prom.Label("tenant", t.cfg.Name),
 			prom.Label("band", strconv.Itoa(t.cfg.Band))))
+		c.stageQuorumLabels = append(c.stageQuorumLabels, prom.Labels(
+			prom.Label("tenant", t.cfg.Name),
+			prom.Label("band", strconv.Itoa(t.cfg.Band)),
+			prom.Label("stage", "quorum")))
+		c.stageCommitLabels = append(c.stageCommitLabels, prom.Labels(
+			prom.Label("tenant", t.cfg.Name),
+			prom.Label("band", strconv.Itoa(t.cfg.Band)),
+			prom.Label("stage", "commit")))
 	}
 }
 
@@ -75,7 +91,11 @@ func (c *collector) Describe(desc func(prom.Desc)) {
 		{Name: "pramsim_serve_tenant_queue_depth", Help: "current admission-queue depth in step credits", Type: "gauge"},
 		{Name: "pramsim_serve_tenant_sim_time_total", Help: "summed simulated step time", Type: "counter"},
 		{Name: "pramsim_serve_tenant_phases_total", Help: "summed quorum protocol phases", Type: "counter"},
+		{Name: "pramsim_serve_tenant_stage_time_total", Help: "summed simulated step time attributed per pipeline stage (quorum retrieval vs commit update; the stages tile sim_time)", Type: "counter"},
+		{Name: "pramsim_serve_round_critical_stage_time_total", Help: "summed per-round makespan attributed to the critical shard's pipeline stage (quorum retrieval vs commit update)", Type: "counter"},
 		{Name: "pramsim_serve_shard_tenants", Help: "tenants placed on the shard", Type: "gauge"},
+		{Name: "pramsim_serve_shard_net_cycles_total", Help: "interconnect cycles routed by the shard's mesh over its machine lifetime (MOT2D fabrics only)", Type: "counter"},
+		{Name: "pramsim_serve_shard_net_hops_total", Help: "interconnect edge traversals routed by the shard's mesh over its machine lifetime (MOT2D fabrics only)", Type: "counter"},
 		{Name: "pramsim_serve_tenant_step_time", Help: "simulated time per executed tenant step (power-of-two buckets)", Type: "histogram"},
 		{Name: "pramsim_serve_tenant_queue_wait_rounds", Help: "virtual rounds a credit waited in the admission queue before executing", Type: "histogram"},
 		{Name: "pramsim_serve_round_active_shards", Help: "shards that carried work, per executed round", Type: "histogram"},
@@ -119,8 +139,29 @@ func (c *collector) Collect(emit func(prom.Sample)) {
 		emit(prom.Sample{Name: "pramsim_serve_tenant_sim_time_total", Labels: l, Value: float64(t.simTime)})
 		emit(prom.Sample{Name: "pramsim_serve_tenant_phases_total", Labels: l, Value: float64(t.phases)})
 	}
+	for i, t := range s.tenants {
+		emit(prom.Sample{Name: "pramsim_serve_tenant_stage_time_total", Labels: c.stageQuorumLabels[i], Value: float64(t.stageQuorum)})
+		emit(prom.Sample{Name: "pramsim_serve_tenant_stage_time_total", Labels: c.stageCommitLabels[i], Value: float64(t.stageCommit)})
+	}
+	emit(prom.Sample{Name: "pramsim_serve_round_critical_stage_time_total",
+		Labels: prom.Label("stage", "quorum"), Value: float64(st.CritQuorumTime)})
+	emit(prom.Sample{Name: "pramsim_serve_round_critical_stage_time_total",
+		Labels: prom.Label("stage", "commit"), Value: float64(st.CritCommitTime)})
 	for sh := 0; sh < s.k; sh++ {
 		emit(prom.Sample{Name: "pramsim_serve_shard_tenants", Labels: c.shardLabels[sh], Value: float64(len(s.byShard[sh]))})
+	}
+	// Raw fabric counters, per shard machine (satellite of the span work):
+	// cumulative over the shard MACHINE's lifetime — a shard retired by a
+	// shrink drops its series, and a later grow starts the id over at
+	// zero. Only cycle-timed meshes have them; Bipartite emits none.
+	for sh := 0; sh < s.k; sh++ {
+		nw := s.nets[sh]
+		if nw == nil {
+			continue
+		}
+		fst := nw.Stats()
+		emit(prom.Sample{Name: "pramsim_serve_shard_net_cycles_total", Labels: c.shardLabels[sh], Value: float64(fst.Cycles)})
+		emit(prom.Sample{Name: "pramsim_serve_shard_net_hops_total", Labels: c.shardLabels[sh], Value: float64(fst.Hops)})
 	}
 	for i, t := range s.tenants {
 		prom.EmitHistogram(emit, "pramsim_serve_tenant_step_time", c.histLabels[i], t.hStep)

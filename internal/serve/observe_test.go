@@ -48,9 +48,17 @@ func serveMix(t *testing.T, cfg Config, fn func(s *Server)) {
 func TestHistogramsKInvariant(t *testing.T) {
 	var refStep []string
 	var refDedup string
+	var refQuorum, refCommit []int64
 	serveMix(t, mixConfig(1, 1), func(s *Server) {
-		for _, tn := range s.tenants {
+		for i, tn := range s.tenants {
 			refStep = append(refStep, histString(tn.hStep))
+			ts := s.TenantStats(i)
+			if ts.QuorumTime+ts.CommitTime != ts.SimTime {
+				t.Errorf("tenant %s: stage split %d+%d does not tile SimTime %d",
+					tn.cfg.Name, ts.QuorumTime, ts.CommitTime, ts.SimTime)
+			}
+			refQuorum = append(refQuorum, ts.QuorumTime)
+			refCommit = append(refCommit, ts.CommitTime)
 		}
 		refDedup = histString(s.hDedup)
 		if s.hDedup.Count() == 0 || s.hRoundMakespan.Count() == 0 {
@@ -64,6 +72,15 @@ func TestHistogramsKInvariant(t *testing.T) {
 					t.Errorf("K=%d tenant %s step-time histogram diverged:\n got %s\nwant %s",
 						K, tn.cfg.Name, got, refStep[i])
 				}
+				// The span layer's per-tenant stage split is K-invariant for
+				// the same reason hStep is: the step multiset — and each
+				// step's retrieval/update decomposition — is a pure function
+				// of the tenant's program.
+				ts := s.TenantStats(i)
+				if ts.QuorumTime != refQuorum[i] || ts.CommitTime != refCommit[i] {
+					t.Errorf("K=%d tenant %s stage split diverged: got %d/%d want %d/%d",
+						K, tn.cfg.Name, ts.QuorumTime, ts.CommitTime, refQuorum[i], refCommit[i])
+				}
 			}
 			if got := histString(s.hDedup); got != refDedup {
 				t.Errorf("K=%d dedup histogram diverged:\n got %s\nwant %s", K, got, refDedup)
@@ -74,11 +91,15 @@ func TestHistogramsKInvariant(t *testing.T) {
 
 // TestObservabilityWorkerInvariant: worker count is pure wall-clock
 // parallelism, so EVERYTHING the observability layer records — the full
-// flight JSON and every histogram — must be bit-for-bit identical across
-// worker counts at fixed K.
+// flight JSON, the full span-trace JSON (including its critical-path
+// stage split) and every histogram — must be bit-for-bit identical
+// across worker counts at fixed K. SpanDepth 64 forces the span ring to
+// wrap so the truncation accounting is pinned too.
 func TestObservabilityWorkerInvariant(t *testing.T) {
 	type snap struct {
 		flight string
+		spans  string
+		crit   [2]int64
 		hists  []string
 	}
 	take := func(s *Server) snap {
@@ -87,6 +108,13 @@ func TestObservabilityWorkerInvariant(t *testing.T) {
 			t.Fatal(err)
 		}
 		sn := snap{flight: buf.String()}
+		buf.Reset()
+		if err := s.WriteSpans(&buf); err != nil {
+			t.Fatal(err)
+		}
+		sn.spans = buf.String()
+		st := s.Stats()
+		sn.crit = [2]int64{st.CritQuorumTime, st.CritCommitTime}
 		for _, tn := range s.tenants {
 			sn.hists = append(sn.hists, histString(tn.hStep), histString(tn.hWait))
 		}
@@ -94,18 +122,32 @@ func TestObservabilityWorkerInvariant(t *testing.T) {
 			histString(s.hRoundMakespan), histString(s.hRoundWork), histString(s.hDedup))
 		return sn
 	}
+	mix := func(workers int) Config {
+		cfg := mixConfig(4, workers)
+		cfg.SpanDepth = 64
+		return cfg
+	}
 	var ref snap
-	serveMix(t, mixConfig(4, 1), func(s *Server) {
+	serveMix(t, mix(1), func(s *Server) {
 		ref = take(s)
 		if s.flight.Total() == 0 {
 			t.Fatal("flight recorder empty")
 		}
+		if s.spans.Dropped() == 0 {
+			t.Fatal("span ring never wrapped — SpanDepth 64 no longer exercises truncation")
+		}
 	})
 	for _, workers := range []int{2, 0} {
-		serveMix(t, mixConfig(4, workers), func(s *Server) {
+		serveMix(t, mix(workers), func(s *Server) {
 			got := take(s)
 			if got.flight != ref.flight {
 				t.Errorf("workers=%d flight dump diverged:\n got %s\nwant %s", workers, got.flight, ref.flight)
+			}
+			if got.spans != ref.spans {
+				t.Errorf("workers=%d span dump diverged:\n got %s\nwant %s", workers, got.spans, ref.spans)
+			}
+			if got.crit != ref.crit {
+				t.Errorf("workers=%d critical-path split diverged: got %v want %v", workers, got.crit, ref.crit)
 			}
 			for i := range ref.hists {
 				if got.hists[i] != ref.hists[i] {
@@ -130,7 +172,7 @@ func TestFlightReplayParity(t *testing.T) {
 		{Round: 9}, // drain
 	}
 	const rounds = 14
-	run := func() (string, []string, uint64) {
+	run := func() (string, string, []string, uint64) {
 		s, err := NewServer(externalPair())
 		if err != nil {
 			t.Fatal(err)
@@ -141,17 +183,25 @@ func TestFlightReplayParity(t *testing.T) {
 		if err := s.WriteFlight(&buf); err != nil {
 			t.Fatal(err)
 		}
+		flight := buf.String()
+		buf.Reset()
+		if err := s.WriteSpans(&buf); err != nil {
+			t.Fatal(err)
+		}
 		var hists []string
 		for _, tn := range s.tenants {
 			hists = append(hists, histString(tn.hStep), histString(tn.hWait))
 		}
 		hists = append(hists, histString(s.hRoundActive), histString(s.hRoundWork), histString(s.hDedup))
-		return buf.String(), hists, s.Fingerprint()
+		return flight, buf.String(), hists, s.Fingerprint()
 	}
-	flight1, hists1, fp1 := run()
-	flight2, hists2, fp2 := run()
+	flight1, spans1, hists1, fp1 := run()
+	flight2, spans2, hists2, fp2 := run()
 	if flight1 != flight2 {
 		t.Errorf("flight dump not reproducible:\n%s\nvs\n%s", flight1, flight2)
+	}
+	if spans1 != spans2 {
+		t.Errorf("span dump not reproducible:\n%s\nvs\n%s", spans1, spans2)
 	}
 	for i := range hists1 {
 		if hists1[i] != hists2[i] {
@@ -170,6 +220,14 @@ func TestFlightReplayParity(t *testing.T) {
 	} {
 		if !strings.Contains(flight1, frag) {
 			t.Errorf("flight dump missing %q:\n%s", frag, flight1)
+		}
+	}
+	for _, frag := range []string{
+		`"name":"schedule"`, `"name":"partition"`, `"name":"wait"`,
+		`"name":"quorum"`, `"name":"commit"`, `"name":"route"`, `"name":"merge"`,
+	} {
+		if !strings.Contains(spans1, frag) {
+			t.Errorf("span dump missing %q:\n%s", frag, spans1)
 		}
 	}
 }
@@ -235,5 +293,25 @@ func TestGoldenExposition(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), `pramsim_serve_tenant_steps_total{tenant="beta",band="1",shard="0"}`) {
 		t.Error("post-resize exposition missing beta's shard=\"0\" placement")
+	}
+}
+
+// TestGoldenExpositionLint runs the dependency-free promlint over the
+// checked-in golden scrapes, so a golden regenerated with -update can
+// never smuggle a grammar or histogram-shape violation past CI: the
+// goldens prove the exposition is STABLE, this proves it is VALID.
+func TestGoldenExpositionLint(t *testing.T) {
+	for _, name := range []string{"golden_metrics.txt", "golden_metrics_resized.txt"} {
+		data, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		problems, families, samples := prom.LintExposition(data)
+		for _, p := range problems {
+			t.Errorf("%s: %s", name, p)
+		}
+		if families == 0 || samples == 0 {
+			t.Errorf("%s: lint saw %d families / %d samples — empty golden?", name, families, samples)
+		}
 	}
 }

@@ -94,11 +94,31 @@
 //     mounts the stdlib /debug/pprof/* handlers (host-process profiles,
 //     opt-in, wallclock-scoped http.go only).
 //
+// # Span tracing
+//
+// The span recorder (internal/span) answers the question the round-level
+// telemetry cannot: WHERE did the round go. Every executed round is
+// decomposed into the pipeline stages the engine already counts — queue
+// wait, band→shard scheduling, the union-find component partition (with
+// forced merges), each tenant step's quorum (retrieval) and commit
+// (update) legs, per-shard interconnect routing (fabric cycle/hop
+// counter deltas and peak module load), and the closing report merge —
+// stamped on a monotone virtual clock that advances by each round's
+// makespan. GET /debug/spans, Server.WriteSpans and `serve spans` render
+// the ring as deterministic Chrome/Perfetto trace-event JSON with server,
+// tenant and shard tracks; `serve replay -spans` re-derives a live
+// capture byte-for-byte. The quorum/commit split tiles each step's Time
+// exactly, so the per-tenant pramsim_serve_tenant_stage_time_total
+// counter families are K-invariant for finite mixes served to completion
+// (labels are tenant+band+stage only, surviving resizes), while the
+// critical-path split (pramsim_serve_round_critical_stage_time_total)
+// follows the round schedule and is worker/replay-invariant only.
+//
 // The per-round serving path — admission, scheduling, pool execution,
-// accounting, histogram observation and flight recording — performs zero
-// steady-state heap allocations (TestServeRoundZeroAllocs,
-// TestSubmitZeroAllocs, TestFlightPushZeroAllocs), extending the
-// repository's invariant one layer further up the stack.
+// accounting, histogram observation, flight and span recording —
+// performs zero steady-state heap allocations (TestServeRoundZeroAllocs,
+// TestSubmitZeroAllocs, TestFlightPushZeroAllocs, TestSpanPushZeroAllocs),
+// extending the repository's invariant one layer further up the stack.
 package serve
 
 import (
@@ -111,6 +131,7 @@ import (
 	"repro/internal/prom"
 	"repro/internal/quorum"
 	"repro/internal/replay"
+	"repro/internal/span"
 )
 
 // Interconnect selects the fabric each pool shard routes its protocol
@@ -300,6 +321,13 @@ type Config struct {
 	// FlightDepth sizes the flight recorder's event ring (0 → 512). The
 	// ring keeps the most recent events and counts what it overwrote.
 	FlightDepth int
+	// SpanDepth sizes the span recorder's ring (0 → 4096 spans). One
+	// executed round records 3 + 4·(active shards) spans, so the default
+	// keeps a few hundred recent rounds at small K. The depth is NOT part
+	// of the recorded arrival script: a live capture and its replay must
+	// agree on it for the `serve replay -spans` byte-compare, so both
+	// sides rely on the same config default.
+	SpanDepth int
 	// Logf, when non-nil, receives one-shot degradation warnings (band
 	// overlap at admission, first forced merge, source failures). It is
 	// never called on the steady-state path.
@@ -345,6 +373,14 @@ type tenant struct {
 	// finite mixes run to completion, see the package doc).
 	hStep *prom.Histogram // per-step simulated time
 	hWait *prom.Histogram // queue wait in rounds per executed credit
+
+	// Stage attribution (exported via TenantStats and the
+	// tenant_stage_time counter families): the tenant's summed simulated
+	// step time split into the retrieval (quorum) and update (commit)
+	// legs. The two tile simTime exactly and, like simTime, are
+	// K-invariant for finite mixes served to completion.
+	stageQuorum int64
+	stageCommit int64
 }
 
 // pushWait records one admitted credit's admission round.
@@ -416,6 +452,19 @@ type Server struct {
 	hRoundWork     *prom.Histogram // summed shard step time per executed round
 	hDedup         *prom.Histogram // post-dedup requests per executed step
 
+	// Span tracing (see the package doc): the stage-span ring plus the
+	// per-shard scratch its hot path reads. nets/netPrev cache each
+	// shard's mesh handle and fabric counter baseline (nil/zero under
+	// Bipartite) for the route spans' cycle/hop deltas; waitScratch holds
+	// the wait (in rounds) of the credit each shard scheduled this round;
+	// critQuorum/critCommit accumulate the critical-path makespan split.
+	spans       *span.Recorder
+	nets        []*mot.Network
+	netPrev     []mot.Stats
+	waitScratch []int64
+	critQuorum  int64
+	critCommit  int64
+
 	logf        func(string, ...any)
 	loggedMerge bool
 }
@@ -430,6 +479,7 @@ const (
 	roundCostBuckets   = 24 // per-round makespan/work
 	dedupBuckets       = 16 // post-dedup requests per step
 	defaultFlightDepth = 512
+	defaultSpanDepth   = 4096
 )
 
 // NewServer builds the deployment: a Lemma 2 parameter point at
@@ -568,6 +618,13 @@ func NewServer(cfg Config) (s *Server, err error) {
 		depth = defaultFlightDepth
 	}
 	s.flight = NewFlightRecorder(depth)
+	sdepth := cfg.SpanDepth
+	if sdepth == 0 {
+		sdepth = defaultSpanDepth
+	}
+	s.spans = span.NewRecorder(sdepth)
+	s.waitScratch = make([]int64, k)
+	s.refreshNets()
 	s.hRoundActive = prom.NewHistogram(occupancyBuckets)
 	s.hRoundMakespan = prom.NewHistogram(roundCostBuckets)
 	s.hRoundWork = prom.NewHistogram(roundCostBuckets)
@@ -747,6 +804,8 @@ func (s *Server) Resize(k int) {
 	s.cursor = make([]int, k)
 	s.batches = make([]model.Batch, k)
 	s.execTenant = make([]int32, k)
+	s.waitScratch = make([]int64, k)
+	s.refreshNets()
 	for _, t := range s.tenants {
 		t.shard = t.cfg.Band % k
 		s.byShard[t.shard] = append(s.byShard[t.shard], t.id)
@@ -756,6 +815,28 @@ func (s *Server) Resize(k int) {
 	if s.logf != nil {
 		s.logf("serve: resized K %d -> %d (round %d, %d tenants re-banded)", prev, k, s.round, len(s.tenants))
 	}
+}
+
+// refreshNets re-caches the per-shard mesh handles (nil under Bipartite)
+// and their fabric counter baselines for the route spans' cycle/hop
+// deltas. Shards that survive a Resize keep their machines — and with
+// them their monotone fabric counters — so surviving baselines carry
+// over and the deltas stay exact across transitions; shards added by a
+// grow start fresh machines whose counters begin at zero.
+func (s *Server) refreshNets() {
+	nets := make([]*mot.Network, s.k)
+	prev := make([]mot.Stats, s.k)
+	for sh := 0; sh < s.k; sh++ {
+		nw, ok := s.pool.ShardInterconnect(sh).(*mot.Network)
+		if !ok {
+			continue
+		}
+		nets[sh] = nw
+		if sh < len(s.nets) && s.nets[sh] == nw {
+			prev[sh] = s.netPrev[sh]
+		}
+	}
+	s.nets, s.netPrev = nets, prev
 }
 
 // StartTrace begins recording the run as a PRAMTRC1 trace onto w. Lanes
@@ -896,7 +977,9 @@ func (s *Server) Round() int {
 				continue
 			}
 			t.credits--
-			t.hWait.Observe(r - t.popWait())
+			wait := r - t.popWait()
+			t.hWait.Observe(wait)
+			s.waitScratch[sh] = wait
 			s.batches[sh] = b
 			s.execTenant[sh] = int32(t.id)
 			s.cursor[sh] = (start + j + 1) % len(ts)
@@ -920,26 +1003,67 @@ func (s *Server) Round() int {
 			s.logf("serve: round %d forced %d serial-component merge(s): cross-band traffic is eroding the disjoint fast path (ForcedMerges counts every one)", r, merges)
 		}
 	}
-	var makespan, work int64
+	// Span emission (see the package doc's "Span tracing" section): every
+	// stage of this round lands on the recorder's virtual clock at `base`,
+	// in a fixed order — schedule, partition, then per active shard (in
+	// shard order) the tenant's wait marker, quorum and commit legs and
+	// the shard's route view, and finally the merge at the makespan point.
+	base := s.spans.Now()
+	s.spans.Push(span.Event{Round: r, Start: base, Stage: span.StageSchedule,
+		A: int64(scheduled), B: int64(s.k)})
+	s.spans.Push(span.Event{Round: r, Start: base, Stage: span.StagePartition,
+		A: int64(s.pool.LastComponents()), B: int64(merges), C: int64(s.pool.LastActive())})
+	var makespan, work, critRead int64
 	for sh := range s.execTenant {
 		id := s.execTenant[sh]
 		if id < 0 {
 			continue
 		}
 		rep := &reports[sh]
-		s.tenants[id].note(rep)
-		s.tenants[id].hStep.Observe(rep.Time)
+		t := s.tenants[id]
+		t.note(rep)
+		t.hStep.Observe(rep.Time)
 		s.hDedup.Observe(int64(s.pool.LastDedupRequests(sh)))
+		// The read leg is the quorum (retrieval) stage, the remainder of
+		// the step the commit (update) stage: the two tile rep.Time.
+		readTime, readPhases, liveArea := s.pool.LastStepBreakdown(sh)
+		t.stageQuorum += readTime
+		t.stageCommit += rep.Time - readTime
+		s.spans.Push(span.Event{Round: r, Start: base, Stage: span.StageWait,
+			Track: id, A: s.waitScratch[sh]})
+		s.spans.Push(span.Event{Round: r, Start: base, Dur: readTime,
+			Stage: span.StageQuorum, Track: id, A: int64(readPhases), B: liveArea})
+		s.spans.Push(span.Event{Round: r, Start: base + readTime, Dur: rep.Time - readTime,
+			Stage: span.StageCommit, Track: id, A: int64(rep.Phases - readPhases)})
+		// The shard's interconnect view of the same step: routed cycles as
+		// the duration (0 on the unit-cost bipartite fabric), with the
+		// mesh's cycle/hop counter deltas as attributes. Each shard runs at
+		// most one tenant step per round, so the delta is this step's.
+		var dc, dh int64
+		if nw := s.nets[sh]; nw != nil {
+			st := nw.Stats()
+			d := st.Sub(s.netPrev[sh])
+			dc, dh = d.Cycles, d.Hops
+			s.netPrev[sh] = st
+		}
+		s.spans.Push(span.Event{Round: r, Start: base, Dur: rep.NetworkCycles,
+			Stage: span.StageRoute, Track: int32(sh), A: dc, B: dh, C: int64(rep.ModuleContention)})
 		work += rep.Time
 		if rep.Time > makespan {
 			makespan = rep.Time
+			critRead = readTime
 		}
 	}
+	s.critQuorum += critRead
+	s.critCommit += makespan - critRead
 	s.hRoundActive.Observe(int64(s.pool.LastActive()))
 	s.hRoundMakespan.Observe(makespan)
 	s.hRoundWork.Observe(work)
 	s.flight.push(FlightEvent{Round: r, Kind: FlightRound, K: int32(s.k),
 		A: int64(scheduled), B: int64(merges), C: int64(s.pool.LastActive())})
+	s.spans.Push(span.Event{Round: r, Start: base + makespan, Stage: span.StageMerge,
+		A: int64(s.pool.LastActive()), B: makespan, C: work})
+	s.spans.Advance(makespan)
 	return scheduled
 }
 
@@ -1120,10 +1244,12 @@ type TenantStats struct {
 	Rejected  int64 // credits refused by the bounded queue
 	Unserved  int64 // credits admitted but voided by source exhaustion
 	Steps     int64 // steps executed
-	Queue     int   // current queue depth (credits)
-	MaxQueue  int   // high-water queue depth
-	SimTime   int64 // summed simulated step time
-	Phases    int64
+	Queue      int   // current queue depth (credits)
+	MaxQueue   int   // high-water queue depth
+	SimTime    int64 // summed simulated step time
+	QuorumTime int64 // retrieval-leg share of SimTime (QuorumTime+CommitTime == SimTime)
+	CommitTime int64 // update-leg share of SimTime
+	Phases     int64
 	Copies    int64
 	Cycles    int64
 	MaxCont   int
@@ -1142,7 +1268,32 @@ func (s *Server) Flight() *FlightRecorder { return s.flight }
 // ids resolved to names. Call between rounds (or after drain); dumping
 // allocates and is not part of the hot path.
 func (s *Server) WriteFlight(w io.Writer) error {
-	return s.flight.WriteJSON(w, func(id int) string { return s.tenants[id].cfg.Name })
+	return s.WriteFlightTail(w, 0)
+}
+
+// WriteFlightTail is WriteFlight bounded to the most recent limit events
+// (limit <= 0 dumps everything retained); the dump's dropped count
+// absorbs the truncation, so a cut dump never pretends to be complete.
+func (s *Server) WriteFlightTail(w io.Writer, limit int) error {
+	return s.flight.WriteJSONTail(w, func(id int) string { return s.tenants[id].cfg.Name }, limit)
+}
+
+// Spans exposes the server's span recorder (diagnostics and tests).
+func (s *Server) Spans() *span.Recorder { return s.spans }
+
+// WriteSpans dumps the span recorder as a deterministic Chrome/Perfetto
+// trace-event JSON document with tenant tracks resolved to names. Call
+// between rounds (or after drain); dumping allocates and is not part of
+// the hot path.
+func (s *Server) WriteSpans(w io.Writer) error {
+	return s.WriteSpansTail(w, 0)
+}
+
+// WriteSpansTail is WriteSpans bounded to the most recent limit spans
+// (limit <= 0 dumps everything retained), with counted truncation.
+func (s *Server) WriteSpansTail(w io.Writer, limit int) error {
+	return s.spans.WriteTrace(w, len(s.tenants),
+		func(id int) string { return s.tenants[id].cfg.Name }, limit)
 }
 
 // TenantStats returns tenant i's account.
@@ -1152,7 +1303,8 @@ func (s *Server) TenantStats(i int) TenantStats {
 		Name: t.cfg.Name, Band: t.cfg.Band, Shard: t.shard, Procs: t.cfg.Procs,
 		Done: t.done, Submitted: t.submitted, Rejected: t.rejected,
 		Unserved: t.unserved, Steps: t.steps,
-		Queue: t.credits, MaxQueue: t.maxQueue, SimTime: t.simTime, Phases: t.phases,
+		Queue: t.credits, MaxQueue: t.maxQueue, SimTime: t.simTime,
+		QuorumTime: t.stageQuorum, CommitTime: t.stageCommit, Phases: t.phases,
 		Copies: t.copies, Cycles: t.cycles, MaxCont: t.maxCont, ErrSteps: t.errSteps,
 		Hash: t.hash, SrcErr: t.srcErr,
 	}
@@ -1167,6 +1319,16 @@ type Stats struct {
 	ForcedMerges int64 // total forced serial-component merges
 	BandOverlaps int64 // tenants admitted onto an already-owned band
 	Resizes      int64 // online K transitions performed
+
+	// Critical-path makespan attribution: each executed round's makespan
+	// (its critical shard's step time) split into the quorum and commit
+	// legs and summed. CritQuorumTime+CritCommitTime is the run's total
+	// makespan — the simulated time the serving lane actually took —
+	// where the per-tenant stage times sum WORK. Which shard is critical
+	// depends on the round schedule, so the split is K-variant but
+	// worker- and replay-invariant.
+	CritQuorumTime int64
+	CritCommitTime int64
 }
 
 // Stats returns the server-wide account.
@@ -1175,5 +1337,6 @@ func (s *Server) Stats() Stats {
 		Rounds: s.round, ExecRounds: s.execRounds, IdleRounds: s.idleRounds,
 		MergedRounds: s.mergedRounds, ForcedMerges: s.forcedMerges,
 		BandOverlaps: s.bandOverlaps, Resizes: s.resizes,
+		CritQuorumTime: s.critQuorum, CritCommitTime: s.critCommit,
 	}
 }

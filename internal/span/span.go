@@ -1,0 +1,261 @@
+// Package span is the serving lane's virtual-time attribution layer: a
+// fixed-size ring of flat stage spans answering "where did the round
+// go?". Where the flight recorder (internal/serve) records WHAT happened
+// each round, the span recorder decomposes each executed round's
+// makespan into the pipeline stages the engine already counts — queue
+// wait, band→shard scheduling, the union-find component partition
+// (including forced merges), the quorum retrieval phase loop, the
+// update/commit leg, per-shard interconnect routing, and the report
+// merge — each stamped on a monotone virtual clock measured in simulated
+// time units (routed cycles under a cycle-timed fabric), never wall
+// clock.
+//
+// The contract matches the rest of the repository: recording is a struct
+// store into a preallocated slot (zero allocations, //pram:hotpath
+// safe), the ring keeps the most recent spans and counts what it
+// overwrote, and the event stream is a pure function of (seed, specs,
+// arrival script) — a live run's dump and its `serve replay -spans`
+// re-derivation are byte-identical. WriteTrace renders the retained
+// spans as deterministic Chrome/Perfetto trace-event JSON (fixed key
+// order, oldest first) with three process tracks: the server pipeline,
+// one thread per tenant, and one thread per shard.
+package span
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Stage identifies one pipeline stage of a serving round.
+type Stage uint8
+
+const (
+	// StageWait is the scheduled credit's admission-queue wait. It is
+	// measured in ROUNDS, not simulated time units, so it renders as an
+	// instant marker carrying the wait as an attribute rather than as a
+	// duration on the round timeline.
+	StageWait Stage = iota + 1
+	// StageSchedule is the band→shard scheduling decision: how many
+	// tenant steps were placed on the K shards this round.
+	StageSchedule
+	// StagePartition is the pool's union-find component census over the
+	// scheduled batches: disjoint components, forced serial merges.
+	StagePartition
+	// StageQuorum is the retrieval leg of a tenant's step: the phase loop
+	// that reads a live quorum of every addressed variable's copies.
+	StageQuorum
+	// StageCommit is the update leg: the phase loop that writes the new
+	// values through to a quorum of copies.
+	StageCommit
+	// StageRoute is one shard's interconnect view of the same step:
+	// routed cycles (the step's full duration on a cycle-timed fabric, 0
+	// on the unit-cost bipartite graph) with the fabric's cycle and hop
+	// counter deltas and the step's peak module load as attributes.
+	StageRoute
+	// StageMerge closes the round: reports folded into tenant accounting
+	// at the round's makespan point.
+	StageMerge
+)
+
+// String returns the stage's trace-event name.
+func (st Stage) String() string {
+	switch st {
+	case StageWait:
+		return "wait"
+	case StageSchedule:
+		return "schedule"
+	case StagePartition:
+		return "partition"
+	case StageQuorum:
+		return "quorum"
+	case StageCommit:
+		return "commit"
+	case StageRoute:
+		return "route"
+	case StageMerge:
+		return "merge"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one fixed-width span record. Start/Dur are virtual timestamps
+// on the recorder's monotone clock (simulated time units); Track is the
+// tenant id for tenant stages (Wait/Quorum/Commit) and the shard id for
+// StageRoute (server stages ignore it). The scalar attributes A, B, C
+// are stage-specific:
+//
+//	StageWait:      A = wait in rounds
+//	StageSchedule:  A = scheduled steps, B = K
+//	StagePartition: A = disjoint components, B = forced merges, C = active shards
+//	StageQuorum:    A = read phases, B = live-request area (Σ live over phases)
+//	StageCommit:    A = write phases
+//	StageRoute:     A = fabric cycles delta, B = hops delta, C = peak module load
+//	StageMerge:     A = active shards, B = makespan, C = summed work
+//
+// One flat struct keeps the ring allocation-free: appending is a struct
+// store into a preallocated slot.
+type Event struct {
+	Round   int64
+	Start   int64
+	Dur     int64
+	Stage   Stage
+	Track   int32
+	A, B, C int64
+}
+
+// Recorder is the fixed-size span ring plus the virtual clock the spans
+// are stamped on. The clock advances by each executed round's makespan
+// (idle rounds record nothing and cost nothing), so the trace timeline
+// is the serving run's simulated critical path.
+type Recorder struct {
+	ring  []Event
+	total int64 // spans ever pushed
+	vt    int64 // virtual clock (simulated time units)
+}
+
+// NewRecorder builds a ring holding the most recent `depth` spans
+// (depth < 1 is clamped to 1).
+func NewRecorder(depth int) *Recorder {
+	if depth < 1 {
+		depth = 1
+	}
+	return &Recorder{ring: make([]Event, depth)}
+}
+
+// Push appends one span, overwriting the oldest once the ring is full.
+//
+//pram:hotpath
+func (r *Recorder) Push(ev Event) {
+	r.ring[r.total%int64(len(r.ring))] = ev
+	r.total++
+}
+
+// Now returns the current virtual timestamp.
+//
+//pram:hotpath
+func (r *Recorder) Now() int64 { return r.vt }
+
+// Advance moves the virtual clock forward by d simulated time units.
+//
+//pram:hotpath
+func (r *Recorder) Advance(d int64) { r.vt += d }
+
+// Total reports how many spans were ever recorded.
+func (r *Recorder) Total() int64 { return r.total }
+
+// Len reports how many spans the ring currently holds.
+func (r *Recorder) Len() int {
+	if r.total < int64(len(r.ring)) {
+		return int(r.total)
+	}
+	return len(r.ring)
+}
+
+// Dropped reports how many spans the ring has overwritten.
+func (r *Recorder) Dropped() int64 { return r.total - int64(r.Len()) }
+
+// Events appends the retained spans, oldest first, to dst and returns it.
+func (r *Recorder) Events(dst []Event) []Event {
+	n := int64(r.Len())
+	for i := r.total - n; i < r.total; i++ {
+		dst = append(dst, r.ring[i%int64(len(r.ring))])
+	}
+	return dst
+}
+
+// Track pids of the trace's three process groups.
+const (
+	pidServer  = 0 // the per-round pipeline stages
+	pidTenants = 1 // one thread per tenant (wait/quorum/commit)
+	pidShards  = 2 // one thread per shard (route)
+)
+
+// WriteTrace dumps the retained spans as a deterministic Chrome/Perfetto
+// trace-event JSON document: fixed key order, metadata first (process
+// and thread names for the server, tenant and shard tracks), then the
+// spans oldest first as "X" duration events with ts/dur on the virtual
+// clock. tenants and tenantName label the tenant tracks (tenantName nil
+// renders bare ids); limit > 0 emits only the most recent limit spans,
+// and the document's dropped count absorbs the truncation — a cut dump
+// never pretends to be complete. Dumping allocates; it runs off the hot
+// path (the /debug/spans handler, shutdown, replay).
+func (r *Recorder) WriteTrace(w io.Writer, tenants int, tenantName func(int) string, limit int) error {
+	var err error
+	pf := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	n := int64(r.Len())
+	if limit > 0 && int64(limit) < n {
+		n = int64(limit)
+	}
+	// Shard tracks come from the emitted spans themselves, so the
+	// metadata is as deterministic as the event stream (and a truncated
+	// dump only names shards it actually shows).
+	maxShard := int32(-1)
+	for i := int64(0); i < n; i++ {
+		ev := &r.ring[(r.total-n+i)%int64(len(r.ring))]
+		if ev.Stage == StageRoute && ev.Track > maxShard {
+			maxShard = ev.Track
+		}
+	}
+	pf("{\"displayTimeUnit\":\"ns\",\"otherData\":{\"total\":%d,\"dropped\":%d,\"clock\":%d},\"traceEvents\":[\n",
+		r.total, r.total-n, r.vt)
+	pf("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"server\"}},\n", pidServer)
+	pf("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"pipeline\"}},\n", pidServer)
+	pf("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"tenants\"}},\n", pidTenants)
+	for i := 0; i < tenants; i++ {
+		name := strconv.Itoa(i)
+		if tenantName != nil {
+			name = tenantName(i)
+		}
+		pf("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":%s}},\n",
+			pidTenants, i, strconv.Quote(name))
+	}
+	pf("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"shards\"}}", pidShards)
+	for sh := int32(0); sh <= maxShard; sh++ {
+		pf(",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"shard %d\"}}",
+			pidShards, sh, sh)
+	}
+	for i := int64(0); i < n; i++ {
+		ev := &r.ring[(r.total-n+i)%int64(len(r.ring))]
+		pf(",\n")
+		writeSpan(pf, ev)
+	}
+	pf("\n]}\n")
+	return err
+}
+
+// writeSpan renders one span as an "X" duration event with its
+// stage-specific args, keys in fixed order.
+func writeSpan(pf func(string, ...any), ev *Event) {
+	pid, tid := pidServer, int32(0)
+	switch ev.Stage {
+	case StageWait, StageQuorum, StageCommit:
+		pid, tid = pidTenants, ev.Track
+	case StageRoute:
+		pid, tid = pidShards, ev.Track
+	}
+	pf("{\"name\":%q,\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%d,\"dur\":%d,\"args\":{\"round\":%d",
+		ev.Stage.String(), pid, tid, ev.Start, ev.Dur, ev.Round)
+	switch ev.Stage {
+	case StageWait:
+		pf(",\"wait_rounds\":%d", ev.A)
+	case StageSchedule:
+		pf(",\"scheduled\":%d,\"k\":%d", ev.A, ev.B)
+	case StagePartition:
+		pf(",\"components\":%d,\"merges\":%d,\"active\":%d", ev.A, ev.B, ev.C)
+	case StageQuorum:
+		pf(",\"phases\":%d,\"live_area\":%d", ev.A, ev.B)
+	case StageCommit:
+		pf(",\"phases\":%d", ev.A)
+	case StageRoute:
+		pf(",\"cycles\":%d,\"hops\":%d,\"peak_module_load\":%d", ev.A, ev.B, ev.C)
+	case StageMerge:
+		pf(",\"active\":%d,\"makespan\":%d,\"work\":%d", ev.A, ev.B, ev.C)
+	}
+	pf("}}")
+}
